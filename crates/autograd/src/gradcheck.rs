@@ -1,0 +1,158 @@
+//! Finite-difference gradient checking.
+//!
+//! Every hand-derived adjoint on the tape is validated against central
+//! differences. The utilities here are `pub` (not test-only) because the
+//! `ahntp-nn` layer tests reuse them to check whole layers end to end.
+
+use crate::tape::{Graph, Var};
+use ahntp_tensor::Tensor;
+
+/// Summary of a gradient check over one or more inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_err: f32,
+    /// Largest relative difference (denominator `max(1, |analytic|, |numeric|)`).
+    pub max_rel_err: f32,
+    /// Total number of scalar entries compared.
+    pub checked: usize,
+}
+
+/// Central-difference gradient of a scalar function at `x`.
+///
+/// `f` is evaluated `2 * x.len()` times with one coordinate perturbed by
+/// `±eps` each time.
+pub fn numerical_gradient(mut f: impl FnMut(&Tensor) -> f32, x: &Tensor, eps: f32) -> Tensor {
+    let mut grad = x.clone();
+    let mut probe = x.clone();
+    for i in 0..x.len() {
+        let orig = x.as_slice()[i];
+        probe.as_mut_slice()[i] = orig + eps;
+        let up = f(&probe);
+        probe.as_mut_slice()[i] = orig - eps;
+        let down = f(&probe);
+        probe.as_mut_slice()[i] = orig;
+        grad.as_mut_slice()[i] = (up - down) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Checks the tape's analytic gradients of `f` against central differences
+/// at the given inputs.
+///
+/// `f` receives a fresh [`Graph`] and one leaf [`Var`] per input tensor and
+/// must return a scalar (the test loss).
+///
+/// # Panics
+///
+/// Panics with a diagnostic naming the offending input and coordinate when
+/// any entry differs by more than `tol` (relative, with an absolute floor of
+/// `tol` for small gradients).
+pub fn check_gradients(
+    inputs: &[Tensor],
+    f: impl Fn(&Graph, &[Var]) -> Var,
+    eps: f32,
+    tol: f32,
+) -> GradCheckReport {
+    // Analytic pass.
+    let g = Graph::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| g.leaf(t.clone())).collect();
+    let loss = f(&g, &vars);
+    loss.backward();
+    let analytic: Vec<Tensor> = vars
+        .iter()
+        .zip(inputs)
+        .map(|(v, t)| {
+            v.grad().unwrap_or_else(|| {
+                // An input that provably does not influence the loss has
+                // zero gradient.
+                t.map(|_| 0.0)
+            })
+        })
+        .collect();
+
+    let mut report = GradCheckReport {
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+        checked: 0,
+    };
+
+    for (which, input) in inputs.iter().enumerate() {
+        let numeric = numerical_gradient(
+            |probe| {
+                let g = Graph::new();
+                let vars: Vec<Var> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, t)| {
+                        if j == which {
+                            g.leaf(probe.clone())
+                        } else {
+                            g.leaf(t.clone())
+                        }
+                    })
+                    .collect();
+                f(&g, &vars).value().as_slice()[0]
+            },
+            input,
+            eps,
+        );
+        for i in 0..input.len() {
+            let a = analytic[which].as_slice()[i];
+            let n = numeric.as_slice()[i];
+            let abs = (a - n).abs();
+            let rel = abs / 1.0f32.max(a.abs()).max(n.abs());
+            report.max_abs_err = report.max_abs_err.max(abs);
+            report.max_rel_err = report.max_rel_err.max(rel);
+            report.checked += 1;
+            assert!(
+                rel <= tol,
+                "gradient mismatch on input {which}, element {i}: \
+                 analytic {a} vs numeric {n} (rel err {rel}, tol {tol})"
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numerical_gradient_of_square_is_two_x() {
+        let x = Tensor::vector(vec![1.0, -2.0, 3.0]);
+        let g = numerical_gradient(
+            |t| t.as_slice().iter().map(|&v| v * v).sum(),
+            &x,
+            1e-3,
+        );
+        for (gi, xi) in g.as_slice().iter().zip(x.as_slice()) {
+            assert!((gi - 2.0 * xi).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn check_gradients_passes_for_simple_quadratic() {
+        let x = Tensor::from_rows(&[&[0.5, -1.5]]);
+        let report = check_gradients(
+            &[x],
+            |_, vars| vars[0].mul(&vars[0]).sum(),
+            1e-2,
+            1e-2,
+        );
+        assert_eq!(report.checked, 2);
+        assert!(report.max_rel_err < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn check_gradients_catches_wrong_adjoint() {
+        // sigmoid's analytic grad is right; pretend the loss were different
+        // by comparing sum(x) analytic against |x| numeric via a
+        // discontinuity at 0 — instead simply corrupt by checking relu at a
+        // kink with tiny tolerance, which must fail.
+        let x = Tensor::from_rows(&[&[1e-5, -1e-5]]);
+        check_gradients(&[x], |_, vars| vars[0].relu().sum(), 1e-3, 1e-6);
+    }
+}

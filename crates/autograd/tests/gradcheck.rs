@@ -1,0 +1,298 @@
+//! Finite-difference validation of every adjoint on the tape.
+//!
+//! Each test builds a small scalar loss through one (or a few) ops and
+//! checks the analytic gradients of *all* inputs against central
+//! differences. f32 + central differences supports roughly 1e-2 relative
+//! tolerance at eps = 1e-2; inputs are chosen away from kinks (ReLU at 0)
+//! so the comparison is well-posed.
+
+use ahntp_autograd::check_gradients;
+use ahntp_tensor::{CsrMatrix, Tensor};
+use std::rc::Rc;
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+fn t(rows: usize, cols: usize, seed: u64) -> Tensor {
+    // Deterministic, kink-free values in [0.3, 1.8] with alternating sign.
+    let mut v = Vec::with_capacity(rows * cols);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    for i in 0..rows * cols {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = ((state >> 40) as f32) / ((1u64 << 24) as f32); // [0,1)
+        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+        v.push(sign * (0.3 + 1.5 * u));
+    }
+    Tensor::from_vec(rows, cols, v).expect("sized correctly")
+}
+
+#[test]
+fn grad_add_sub_mul_div() {
+    let a = t(2, 3, 1);
+    let b = t(2, 3, 2);
+    check_gradients(
+        &[a.clone(), b.clone()],
+        |_, v| v[0].add(&v[1]).sum(),
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &[a.clone(), b.clone()],
+        |_, v| v[0].sub(&v[1]).mean(),
+        EPS,
+        TOL,
+    );
+    check_gradients(
+        &[a.clone(), b.clone()],
+        |_, v| v[0].mul(&v[1]).sum(),
+        EPS,
+        TOL,
+    );
+    check_gradients(&[a, b], |_, v| v[0].div(&v[1]).sum(), EPS, TOL);
+}
+
+#[test]
+fn grad_scale_and_add_scalar() {
+    let a = t(2, 2, 3);
+    check_gradients(
+        &[a],
+        |_, v| v[0].scale(3.5).add_scalar(-1.0).sum(),
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_matmul() {
+    let a = t(3, 4, 4);
+    let b = t(4, 2, 5);
+    check_gradients(&[a, b], |_, v| v[0].matmul(&v[1]).sum(), EPS, TOL);
+}
+
+#[test]
+fn grad_matmul_t_and_transpose() {
+    let a = t(3, 4, 6);
+    let b = t(2, 4, 7);
+    check_gradients(&[a.clone(), b], |_, v| v[0].matmul_t(&v[1]).sum(), EPS, TOL);
+    let c = t(4, 3, 8);
+    check_gradients(&[a, c], |_, v| v[0].transpose().mul(&v[1]).sum(), EPS, TOL);
+}
+
+#[test]
+fn grad_matmul_vector_promotions() {
+    let a = t(3, 4, 40);
+    let x = {
+        let m = t(1, 4, 41);
+        Tensor::vector(m.as_slice().to_vec())
+    };
+    // matrix @ vector
+    check_gradients(
+        &[a.clone(), x.clone()],
+        |_, v| v[0].matmul(&v[1]).sum(),
+        EPS,
+        TOL,
+    );
+    // vector @ matrix
+    let y = {
+        let m = t(1, 3, 42);
+        Tensor::vector(m.as_slice().to_vec())
+    };
+    check_gradients(&[y, a], |_, v| v[0].matmul(&v[1]).sum(), EPS, TOL);
+}
+
+#[test]
+fn grad_pointwise_nonlinearities() {
+    let a = t(2, 3, 9);
+    check_gradients(std::slice::from_ref(&a), |_, v| v[0].relu().sum(), EPS, TOL);
+    check_gradients(std::slice::from_ref(&a), |_, v| v[0].leaky_relu(0.2).sum(), EPS, TOL);
+    check_gradients(std::slice::from_ref(&a), |_, v| v[0].sigmoid().sum(), EPS, TOL);
+    check_gradients(std::slice::from_ref(&a), |_, v| v[0].tanh().sum(), EPS, TOL);
+    check_gradients(std::slice::from_ref(&a), |_, v| v[0].scale(0.5).exp().sum(), EPS, TOL);
+    // ln over strictly-positive inputs (sigmoid maps into (0,1))
+    check_gradients(&[a], |_, v| v[0].sigmoid().ln_eps(1e-6).sum(), EPS, TOL);
+}
+
+#[test]
+fn grad_add_bias() {
+    let a = t(3, 2, 10);
+    let bias = Tensor::vector(vec![0.7, -0.4]);
+    check_gradients(&[a, bias], |_, v| v[0].add_bias(&v[1]).sum(), EPS, TOL);
+}
+
+#[test]
+fn grad_spmm() {
+    let h: Rc<CsrMatrix<f32>> = Rc::new(
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 0, 1.0), (0, 2, 0.5), (1, 1, 2.0), (2, 3, -1.0), (2, 0, 0.25)],
+        )
+        .expect("valid triplets"),
+    );
+    let x = t(4, 2, 11);
+    check_gradients(
+        &[x],
+        move |g, v| g.spmm(&h, &v[0]).sum(),
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_concat_cols() {
+    let a = t(2, 2, 12);
+    let b = t(2, 3, 13);
+    check_gradients(
+        &[a, b],
+        |g, v| g.concat_cols(&[&v[0], &v[1]]).mul(&g.concat_cols(&[&v[0], &v[1]])).sum(),
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_gather_rows_with_repeats() {
+    let a = t(4, 3, 14);
+    let idx = Rc::new(vec![0usize, 2, 2, 3]);
+    check_gradients(
+        &[a],
+        move |_, v| {
+            let gathered = v[0].gather_rows(&idx);
+            gathered.mul(&gathered).sum()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_scale_rows() {
+    let a = t(3, 2, 15);
+    let factors = Rc::new(vec![0.5f32, 2.0, -1.0]);
+    check_gradients(
+        &[a],
+        move |_, v| v[0].scale_rows(&factors).sum(),
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_pairwise_cosine() {
+    let a = t(4, 3, 16);
+    let b = t(4, 3, 17);
+    check_gradients(
+        &[a, b],
+        |_, v| v[0].pairwise_cosine(&v[1]).sum(),
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_segment_softmax() {
+    let a = Tensor::vector(vec![0.5, -0.3, 1.2, 0.8, -0.9]);
+    let segments = Rc::new(vec![0usize, 0, 1, 1, 1]);
+    check_gradients(
+        &[a],
+        move |_, v| {
+            // weight the softmax so the gradient is not trivially zero
+            let sm = v[0].segment_softmax(&segments);
+            sm.mul(&sm).sum()
+        },
+        1e-3,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_segment_sum() {
+    let a = Tensor::vector(vec![0.5, -0.3, 1.2, 0.8]);
+    let segments = Rc::new(vec![1usize, 0, 1, 0]);
+    check_gradients(
+        &[a],
+        move |_, v| {
+            let s = v[0].segment_sum(&segments, 2);
+            s.mul(&s).sum()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_weighted_gather() {
+    let pairs = Rc::new(vec![(0usize, 0usize), (0, 1), (1, 1), (2, 0), (2, 2)]);
+    let w = Tensor::vector(vec![0.5, -0.2, 1.0, 0.7, 0.3]);
+    let h = t(3, 2, 18);
+    check_gradients(
+        &[w, h],
+        move |g, v| {
+            let y = g.weighted_gather(&pairs, 3, &v[0], &v[1]);
+            y.mul(&y).sum()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_composite_mlp_like_pipeline() {
+    // A realistic slice of the model: linear → ReLU → linear → sigmoid →
+    // BCE-style loss, checking gradients of weights and biases jointly.
+    let x = t(4, 3, 19);
+    let w1 = t(3, 5, 20);
+    let b1 = Tensor::vector(vec![0.1, -0.2, 0.3, 0.0, 0.05]);
+    let w2 = t(5, 1, 21);
+    check_gradients(
+        &[x, w1, b1, w2],
+        |_, v| {
+            let h = v[0].matmul(&v[1]).add_bias(&v[2]).relu();
+            let p = h.matmul(&v[3]).sigmoid();
+            // -mean(log p) over pseudo-positive labels
+            p.ln_eps(1e-7).mean().neg()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_contrastive_like_pipeline() {
+    // exp(cos/t) pooled by segments and log-ratioed — the shape of Eq. 20.
+    let a = t(6, 4, 22);
+    let b = t(6, 4, 23);
+    let seg = Rc::new(vec![0usize, 0, 1, 1, 2, 2]);
+    check_gradients(
+        &[a, b],
+        move |_, v| {
+            let cs = v[0].pairwise_cosine(&v[1]).scale(1.0 / 0.3).exp();
+            let pooled = cs.segment_sum(&seg, 3);
+            pooled.ln_eps(1e-7).mean().neg()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_reshape_passthrough() {
+    let a = t(2, 3, 24);
+    check_gradients(
+        &[a],
+        |_, v| {
+            let r = v[0].reshape(ahntp_tensor::Shape::Vector(6));
+            r.mul(&r).sum()
+        },
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_report_is_informative() {
+    let a = t(2, 2, 25);
+    let report = check_gradients(&[a], |_, v| v[0].tanh().sum(), EPS, TOL);
+    assert_eq!(report.checked, 4);
+    assert!(report.max_rel_err <= TOL);
+}

@@ -1,0 +1,125 @@
+//! Property-based gradcheck over randomly composed tape programs: chains
+//! of smooth ops applied to random matrices, validated against central
+//! differences. Complements the per-op tests by exercising arbitrary
+//! compositions (shared subexpressions, mixed shapes).
+
+use ahntp_autograd::{check_gradients, Graph, Var};
+use ahntp_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Smooth unary ops only (no ReLU kinks — random inputs would land on
+/// non-differentiable points and poison the numeric estimates).
+#[derive(Debug, Clone, Copy)]
+enum UnaryOp {
+    Sigmoid,
+    Tanh,
+    ScaledExp,
+    Scale,
+    AddScalar,
+    Softplusish, // sigmoid ∘ scale: another smooth squash
+}
+
+fn apply(op: UnaryOp, v: &Var) -> Var {
+    match op {
+        UnaryOp::Sigmoid => v.sigmoid(),
+        UnaryOp::Tanh => v.tanh(),
+        UnaryOp::ScaledExp => v.scale(0.3).exp(),
+        UnaryOp::Scale => v.scale(-1.7),
+        UnaryOp::AddScalar => v.add_scalar(0.4),
+        UnaryOp::Softplusish => v.scale(2.0).sigmoid(),
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = UnaryOp> {
+    prop_oneof![
+        Just(UnaryOp::Sigmoid),
+        Just(UnaryOp::Tanh),
+        Just(UnaryOp::ScaledExp),
+        Just(UnaryOp::Scale),
+        Just(UnaryOp::AddScalar),
+        Just(UnaryOp::Softplusish),
+    ]
+}
+
+fn arb_matrix() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-1.2f32..1.2, 12)
+        .prop_map(|v| Tensor::from_vec(3, 4, v).expect("12 elements"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_unary_chains_gradcheck(
+        a in arb_matrix(),
+        ops in proptest::collection::vec(arb_op(), 1..6),
+    ) {
+        check_gradients(
+            std::slice::from_ref(&a),
+            |_, vars| {
+                let mut v = vars[0].clone();
+                for &op in &ops {
+                    v = apply(op, &v);
+                }
+                v.mean()
+            },
+            1e-3,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn random_binary_trees_gradcheck(
+        a in arb_matrix(),
+        b in arb_matrix(),
+        op1 in arb_op(),
+        op2 in arb_op(),
+        combine_mul in proptest::bool::ANY,
+    ) {
+        check_gradients(
+            &[a.clone(), b.clone()],
+            |_, vars| {
+                let x = apply(op1, &vars[0]);
+                let y = apply(op2, &vars[1]);
+                let z = if combine_mul { x.mul(&y) } else { x.add(&y) };
+                // Shared subexpression on top: z used twice.
+                z.mul(&z).mean()
+            },
+            1e-3,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn matmul_sandwich_gradcheck(
+        a in arb_matrix(),
+        op in arb_op(),
+    ) {
+        // a (3x4) @ a^T (4x3) → 3x3 through a smooth op → scalar.
+        check_gradients(
+            std::slice::from_ref(&a),
+            |_, vars| {
+                let m = vars[0].matmul_t(&vars[0]);
+                apply(op, &m).sum()
+            },
+            1e-3,
+            4e-2,
+        );
+    }
+
+    #[test]
+    fn forward_values_are_deterministic(
+        a in arb_matrix(),
+        ops in proptest::collection::vec(arb_op(), 1..5),
+    ) {
+        let run = || {
+            let g = Graph::new();
+            let mut v = g.constant(a.clone());
+            for &op in &ops {
+                v = apply(op, &v);
+            }
+            v.value()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

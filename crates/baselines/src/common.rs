@@ -1,0 +1,229 @@
+//! Shared scaffolding: the trust head, the encoder abstraction, and the
+//! generic train/predict driver all baselines run through.
+
+use ahntp_autograd::Var;
+use ahntp_data::LabeledPair;
+use ahntp_eval::TrustModel;
+use ahntp_nn::{Adam, AdamConfig, Linear, Module, Optimizer, Param, Session};
+use ahntp_tensor::Tensor;
+use std::rc::Rc;
+
+/// Numerical floor inside logarithms.
+const LN_EPS: f32 = 1e-7;
+
+/// Hyperparameters shared by all baselines.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Hidden width of the encoder layers.
+    pub hidden: usize,
+    /// Embedding width fed to the trust head.
+    pub out: usize,
+    /// Optimizer settings (paper: Adam, lr 1e-3, weight decay 1e-4).
+    pub adam: AdamConfig,
+    /// Seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            hidden: 64,
+            out: 32,
+            adam: AdamConfig::default(),
+            seed: 77,
+        }
+    }
+}
+
+/// Centres a feature matrix column-wise (same preprocessing AHNTP applies:
+/// all models see identical inputs).
+pub(crate) fn center_features(features: &Tensor) -> Tensor {
+    let means = features.col_sums().scale(1.0 / features.rows() as f32);
+    let mut out = features.clone();
+    for r in 0..out.rows() {
+        for (v, &m) in out.row_mut(r).iter_mut().zip(means.as_slice()) {
+            *v -= m;
+        }
+    }
+    out
+}
+
+/// An embedding encoder: the model-specific part of each baseline.
+pub(crate) trait Encoder {
+    /// Produces the `n × d` user embedding on the given session.
+    fn encode(&self, s: &Session) -> Var;
+
+    /// All trainable parameters.
+    fn params(&self) -> Vec<Param>;
+
+    /// Optional auxiliary objective (e.g. AtNE-Trust's reconstruction
+    /// loss), added to the BCE head loss.
+    fn extra_loss(&self, _s: &Session, _emb: &Var) -> Option<Var> {
+        None
+    }
+}
+
+/// The fully-connected trust head the paper attaches to every embedding
+/// method: `p(u → v) = σ(W₂ ReLU(W₁ [e_u ‖ e_v]))`.
+pub(crate) struct PairHead {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl PairHead {
+    pub fn new(emb_dim: usize, seed: u64) -> PairHead {
+        PairHead {
+            l1: Linear::new("head.l1", 2 * emb_dim, emb_dim, seed ^ 0xbeef),
+            l2: Linear::new("head.l2", emb_dim, 1, seed ^ 0xcafe),
+        }
+    }
+
+    /// Probabilities (`[n_pairs]`) for the given pairs.
+    pub fn forward(&self, s: &Session, emb: &Var, pairs: &[LabeledPair]) -> Var {
+        let trustors = Rc::new(pairs.iter().map(|p| p.trustor).collect::<Vec<_>>());
+        let trustees = Rc::new(pairs.iter().map(|p| p.trustee).collect::<Vec<_>>());
+        let eu = emb.gather_rows(&trustors);
+        let ev = emb.gather_rows(&trustees);
+        let cat = s.graph().concat_cols(&[&eu, &ev]);
+        let h = self.l1.forward(s, &cat).relu();
+        let logits = self.l2.forward(s, &h);
+        logits
+            .reshape(ahntp_tensor::Shape::Vector(pairs.len()))
+            .sigmoid()
+    }
+
+    pub fn params(&self) -> Vec<Param> {
+        let mut p = self.l1.params();
+        p.extend(self.l2.params());
+        p
+    }
+}
+
+/// Binary cross-entropy on direct probabilities.
+pub(crate) fn bce_probs(s: &Session, p: &Var, pairs: &[LabeledPair]) -> Var {
+    let y = s.constant(Tensor::vector(
+        pairs.iter().map(|q| f32::from(q.label)).collect(),
+    ));
+    let one_minus_y = s.constant(Tensor::vector(
+        pairs.iter().map(|q| 1.0 - f32::from(q.label)).collect(),
+    ));
+    let pos = y.mul(&p.ln_eps(LN_EPS));
+    let neg = one_minus_y.mul(&p.neg().add_scalar(1.0).ln_eps(LN_EPS));
+    pos.add(&neg).mean().neg()
+}
+
+/// Generic baseline driver: encoder + trust head + Adam, full-batch BCE.
+pub(crate) struct Baseline<E: Encoder> {
+    name: &'static str,
+    encoder: E,
+    head: PairHead,
+    optimizer: Adam,
+}
+
+impl<E: Encoder> Baseline<E> {
+    pub fn new(name: &'static str, encoder: E, emb_dim: usize, cfg: &BaselineConfig) -> Self {
+        let head = PairHead::new(emb_dim, cfg.seed);
+        let mut params = encoder.params();
+        params.extend(head.params());
+        let optimizer = Adam::new(params, cfg.adam);
+        Baseline {
+            name,
+            encoder,
+            head,
+            optimizer,
+        }
+    }
+}
+
+impl<E: Encoder> TrustModel for Baseline<E> {
+    fn name(&self) -> String {
+        self.name.into()
+    }
+
+    fn train_epoch(&mut self, pairs: &[LabeledPair]) -> f32 {
+        assert!(!pairs.is_empty(), "train_epoch: no pairs");
+        self.optimizer.zero_grad();
+        let s = Session::new();
+        let emb = self.encoder.encode(&s);
+        let p = self.head.forward(&s, &emb, pairs);
+        let mut loss = bce_probs(&s, &p, pairs);
+        if let Some(extra) = self.encoder.extra_loss(&s, &emb) {
+            loss = loss.add(&extra);
+        }
+        let value = loss.value().as_slice()[0];
+        loss.backward();
+        s.harvest();
+        self.optimizer.step();
+        value
+    }
+
+    fn predict(&self, pairs: &[LabeledPair]) -> Vec<f32> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let s = Session::new();
+        let emb = self.encoder.encode(&s);
+        self.head.forward(&s, &emb, pairs).value().into_vec()
+    }
+
+    fn n_parameters(&self) -> usize {
+        self.optimizer.params().iter().map(Param::numel).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_features_zeroes_column_means() {
+        let x = Tensor::from_rows(&[&[1.0, 4.0], &[3.0, 0.0]]);
+        let c = center_features(&x);
+        let sums = c.col_sums();
+        assert!(sums.as_slice().iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn pair_head_outputs_probabilities() {
+        let head = PairHead::new(4, 3);
+        let s = Session::new();
+        let emb = s.constant(ahntp_tensor::xavier_uniform(5, 4, 9));
+        let pairs = vec![
+            LabeledPair {
+                trustor: 0,
+                trustee: 1,
+                label: true,
+            },
+            LabeledPair {
+                trustor: 3,
+                trustee: 4,
+                label: false,
+            },
+        ];
+        let p = head.forward(&s, &emb, &pairs).value();
+        assert_eq!(p.len(), 2);
+        assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn bce_probs_orders_correctly() {
+        let s = Session::new();
+        let pairs = vec![
+            LabeledPair {
+                trustor: 0,
+                trustee: 1,
+                label: true,
+            },
+            LabeledPair {
+                trustor: 1,
+                trustee: 0,
+                label: false,
+            },
+        ];
+        let good = s.constant(Tensor::vector(vec![0.95, 0.05]));
+        let bad = s.constant(Tensor::vector(vec![0.05, 0.95]));
+        let lg = bce_probs(&s, &good, &pairs).value().as_slice()[0];
+        let lb = bce_probs(&s, &bad, &pairs).value().as_slice()[0];
+        assert!(lg < lb);
+    }
+}

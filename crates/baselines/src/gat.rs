@@ -1,0 +1,85 @@
+//! The GAT baseline (Velickovic et al., ICLR'18): two stacked single-head
+//! graph attention layers over the social graph.
+
+use crate::common::{center_features, Baseline, BaselineConfig, Encoder};
+use ahntp_autograd::Var;
+use ahntp_data::LabeledPair;
+use ahntp_eval::TrustModel;
+use ahntp_graph::DiGraph;
+use ahntp_nn::{GatConv, Module, Param, Session};
+use ahntp_tensor::Tensor;
+
+struct GatEncoder {
+    features: Tensor,
+    l1: GatConv,
+    l2: GatConv,
+}
+
+impl Encoder for GatEncoder {
+    fn encode(&self, s: &Session) -> Var {
+        let x = s.constant(self.features.clone());
+        let h = self.l1.forward(s, &x);
+        self.l2.forward(s, &h)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.l1.params();
+        p.extend(self.l2.params());
+        p
+    }
+}
+
+/// The GAT baseline model.
+pub struct Gat {
+    inner: Baseline<GatEncoder>,
+}
+
+impl Gat {
+    /// Builds the model over the training graph and shared features.
+    pub fn new(features: &Tensor, graph: &DiGraph, cfg: &BaselineConfig) -> Gat {
+        let encoder = GatEncoder {
+            features: center_features(features),
+            l1: GatConv::new("gat.l1", graph, features.cols(), cfg.hidden, true, cfg.seed),
+            l2: GatConv::new("gat.l2", graph, cfg.hidden, cfg.out, false, cfg.seed ^ 1),
+        };
+        Gat {
+            inner: Baseline::new("GAT", encoder, cfg.out, cfg),
+        }
+    }
+}
+
+impl TrustModel for Gat {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn train_epoch(&mut self, pairs: &[LabeledPair]) -> f32 {
+        self.inner.train_epoch(pairs)
+    }
+    fn predict(&self, pairs: &[LabeledPair]) -> Vec<f32> {
+        self.inner.predict(pairs)
+    }
+    fn n_parameters(&self) -> usize {
+        self.inner.n_parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahntp_data::{DatasetConfig, TrustDataset};
+
+    #[test]
+    fn gat_trains_and_predicts() {
+        let ds = TrustDataset::generate(&DatasetConfig::ciao_like(60, 2));
+        let split = ds.split(0.8, 0.2, 2, 3);
+        let mut m = Gat::new(&ds.features, &split.train_graph, &BaselineConfig::default());
+        assert_eq!(m.name(), "GAT");
+        let l1 = m.train_epoch(&split.train);
+        let l2 = m.train_epoch(&split.train);
+        assert!(l1.is_finite() && l2.is_finite());
+        let p = m.predict(&split.test);
+        assert_eq!(p.len(), split.test.len());
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(m.n_parameters() > 100);
+    }
+}

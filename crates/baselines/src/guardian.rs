@@ -1,0 +1,91 @@
+//! The Guardian baseline (Lin et al., INFOCOM'20): GCN layers over the
+//! social-trust graph learn trust propagation and aggregation, followed by
+//! the pairwise prediction head.
+
+use crate::common::{center_features, Baseline, BaselineConfig, Encoder};
+use ahntp_autograd::Var;
+use ahntp_data::LabeledPair;
+use ahntp_eval::TrustModel;
+use ahntp_graph::DiGraph;
+use ahntp_nn::{gcn_norm_adjacency, GcnConv, Module, Param, Session};
+use ahntp_tensor::Tensor;
+use std::rc::Rc;
+
+struct GuardianEncoder {
+    features: Tensor,
+    l1: GcnConv,
+    l2: GcnConv,
+}
+
+impl Encoder for GuardianEncoder {
+    fn encode(&self, s: &Session) -> Var {
+        let x = s.constant(self.features.clone());
+        let h = self.l1.forward(s, &x);
+        self.l2.forward(s, &h)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.l1.params();
+        p.extend(self.l2.params());
+        p
+    }
+}
+
+/// The Guardian baseline model.
+pub struct Guardian {
+    inner: Baseline<GuardianEncoder>,
+}
+
+impl Guardian {
+    /// Builds the model over the training graph.
+    pub fn new(features: &Tensor, graph: &DiGraph, cfg: &BaselineConfig) -> Guardian {
+        let adj = Rc::new(gcn_norm_adjacency(graph));
+        let encoder = GuardianEncoder {
+            features: center_features(features),
+            l1: GcnConv::new(
+                "guardian.l1",
+                Rc::clone(&adj),
+                features.cols(),
+                cfg.hidden,
+                true,
+                cfg.seed,
+            ),
+            l2: GcnConv::new("guardian.l2", adj, cfg.hidden, cfg.out, false, cfg.seed ^ 1),
+        };
+        Guardian {
+            inner: Baseline::new("Guardian", encoder, cfg.out, cfg),
+        }
+    }
+}
+
+impl TrustModel for Guardian {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn train_epoch(&mut self, pairs: &[LabeledPair]) -> f32 {
+        self.inner.train_epoch(pairs)
+    }
+    fn predict(&self, pairs: &[LabeledPair]) -> Vec<f32> {
+        self.inner.predict(pairs)
+    }
+    fn n_parameters(&self) -> usize {
+        self.inner.n_parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahntp_data::{DatasetConfig, TrustDataset};
+
+    #[test]
+    fn guardian_trains() {
+        let ds = TrustDataset::generate(&DatasetConfig::epinions_like(60, 6));
+        let split = ds.split(0.8, 0.2, 2, 7);
+        let mut m = Guardian::new(&ds.features, &split.train_graph, &BaselineConfig::default());
+        assert_eq!(m.name(), "Guardian");
+        assert!(m.train_epoch(&split.train).is_finite());
+        let p = m.predict(&split.test);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,145 @@
+//! The KGTrust baseline (Yu et al., WWW'23): a knowledge-augmented GNN —
+//! user features are enriched with embeddings of their knowledge-side
+//! attributes (the attribute vocabulary plays the role of the SIoT
+//! knowledge graph), then propagated with a discriminative convolution over
+//! the social graph.
+
+use crate::common::{center_features, Baseline, BaselineConfig, Encoder};
+use ahntp_autograd::Var;
+use ahntp_data::LabeledPair;
+use ahntp_eval::TrustModel;
+use ahntp_graph::DiGraph;
+use ahntp_nn::{gcn_norm_adjacency, GcnConv, Linear, Module, Param, Session};
+use ahntp_tensor::Tensor;
+use std::rc::Rc;
+
+struct KgEncoder {
+    /// `[X ‖ A]` where `A` is the multi-hot user–attribute matrix (the
+    /// knowledge augmentation).
+    augmented: Tensor,
+    proj: Linear,
+    l1: GcnConv,
+    l2: GcnConv,
+}
+
+impl Encoder for KgEncoder {
+    fn encode(&self, s: &Session) -> Var {
+        let x = s.constant(self.augmented.clone());
+        let h = self.proj.forward(s, &x).relu();
+        let h = self.l1.forward(s, &h);
+        self.l2.forward(s, &h)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.proj.params();
+        p.extend(self.l1.params());
+        p.extend(self.l2.params());
+        p
+    }
+}
+
+/// The KGTrust baseline model.
+pub struct KgTrust {
+    inner: Baseline<KgEncoder>,
+}
+
+impl KgTrust {
+    /// Builds the model. `attributes[u]` lists user `u`'s knowledge-side
+    /// attribute ids (identical to the input AHNTP's attribute hypergroup
+    /// receives).
+    pub fn new(
+        features: &Tensor,
+        attributes: &[Vec<usize>],
+        graph: &DiGraph,
+        cfg: &BaselineConfig,
+    ) -> KgTrust {
+        assert_eq!(
+            features.rows(),
+            attributes.len(),
+            "KgTrust::new: {} feature rows for {} attribute lists",
+            features.rows(),
+            attributes.len()
+        );
+        let vocab = attributes
+            .iter()
+            .flat_map(|a| a.iter().copied())
+            .max()
+            .map_or(0, |m| m + 1);
+        let n = features.rows();
+        let mut multi_hot = Tensor::zeros(n, vocab.max(1));
+        for (u, attrs) in attributes.iter().enumerate() {
+            for &a in attrs {
+                multi_hot.set(u, a, 1.0);
+            }
+        }
+        let centered = center_features(features);
+        let augmented = Tensor::concat_cols(&[&centered, &multi_hot]);
+        let adj = Rc::new(gcn_norm_adjacency(graph));
+        let encoder = KgEncoder {
+            proj: Linear::new("kg.proj", augmented.cols(), cfg.hidden, cfg.seed),
+            l1: GcnConv::new(
+                "kg.l1",
+                Rc::clone(&adj),
+                cfg.hidden,
+                cfg.hidden,
+                true,
+                cfg.seed ^ 1,
+            ),
+            l2: GcnConv::new("kg.l2", adj, cfg.hidden, cfg.out, false, cfg.seed ^ 2),
+            augmented,
+        };
+        KgTrust {
+            inner: Baseline::new("KGTrust", encoder, cfg.out, cfg),
+        }
+    }
+}
+
+impl TrustModel for KgTrust {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn train_epoch(&mut self, pairs: &[LabeledPair]) -> f32 {
+        self.inner.train_epoch(pairs)
+    }
+    fn predict(&self, pairs: &[LabeledPair]) -> Vec<f32> {
+        self.inner.predict(pairs)
+    }
+    fn n_parameters(&self) -> usize {
+        self.inner.n_parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahntp_data::{DatasetConfig, TrustDataset};
+
+    #[test]
+    fn kgtrust_uses_attribute_knowledge() {
+        let ds = TrustDataset::generate(&DatasetConfig::ciao_like(60, 10));
+        let split = ds.split(0.8, 0.2, 2, 11);
+        let mut m = KgTrust::new(
+            &ds.features,
+            &ds.attributes,
+            &split.train_graph,
+            &BaselineConfig::default(),
+        );
+        assert_eq!(m.name(), "KGTrust");
+        assert!(m.train_epoch(&split.train).is_finite());
+        let p = m.predict(&split.test);
+        assert_eq!(p.len(), split.test.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute lists")]
+    fn kgtrust_validates_attribute_count() {
+        let ds = TrustDataset::generate(&DatasetConfig::ciao_like(60, 10));
+        let split = ds.split(0.8, 0.2, 2, 11);
+        KgTrust::new(
+            &ds.features,
+            &ds.attributes[..10],
+            &split.train_graph,
+            &BaselineConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! The eight baseline trust-prediction models of the paper's evaluation
+//! (§V-A-2), re-implemented from their source papers' propagation rules:
+//!
+//! | Category | Models |
+//! |---|---|
+//! | Traditional network embedding | [`Gat`], [`Sgc`] |
+//! | Trust prediction | [`Guardian`], [`AtneTrust`], [`KgTrust`] |
+//! | Hypergraph-based | [`UniGcn`], [`UniGat`], [`HgnnPlus`] |
+//! | Propagation-based (extra, §II-A-1) | [`TrustPropagation`] |
+//!
+//! Following the paper's protocol, every baseline receives **the same input
+//! features** as AHNTP and gains a fully-connected + ReLU trust head so it
+//! can predict trust: the head concatenates the trustor and trustee
+//! embeddings and maps them to a probability (this is also Guardian's and
+//! DeepTrust's native prediction style). The hypergraph baselines operate
+//! on the *generic* hypergroups (attributes + pairwise + 1-hop
+//! neighbourhoods); the Motif-based-PageRank influence hypergroup is
+//! AHNTP's contribution and stays exclusive to it.
+//!
+//! All models implement [`ahntp_eval::TrustModel`], so the experiment
+//! harness treats them identically to AHNTP.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atne;
+mod common;
+mod gat;
+mod guardian;
+mod hyper;
+mod kgtrust;
+mod propagation;
+mod sgc;
+
+pub use atne::AtneTrust;
+pub use common::BaselineConfig;
+pub use gat::Gat;
+pub use guardian::Guardian;
+pub use hyper::{HgnnPlus, UniGat, UniGcn};
+pub use kgtrust::KgTrust;
+pub use propagation::TrustPropagation;
+pub use sgc::Sgc;

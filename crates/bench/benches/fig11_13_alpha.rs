@@ -1,0 +1,39 @@
+//! Figs. 11 and 13 — the effect of the Motif-based-PageRank mixing
+//! parameter α ∈ {0.4 … 0.9} on both datasets (question Q4, §V-D-3).
+//!
+//! Reproduction criterion: a sweet spot near α = 0.8 — mixing pairwise and
+//! motif-based structure beats either extreme.
+
+use ahntp::Ahntp;
+use ahntp_bench::{ahntp_config, pct, print_row, run_prepared, Dataset, Scale};
+
+const ALPHAS: [f64; 6] = [0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Figs. 11 & 13 — performance with different alpha");
+    println!();
+    print_row(&[
+        "Dataset".into(),
+        "alpha".into(),
+        "Accuracy".into(),
+        "F1-Score".into(),
+    ]);
+    print_row(&vec!["---".into(); 4]);
+    for dataset in Dataset::ALL {
+        let ds = dataset.generate(&scale);
+        let split = ds.split(0.8, 0.2, 2, scale.seed);
+        for alpha in ALPHAS {
+            let mut cfg = ahntp_config(&scale);
+            cfg.alpha = alpha;
+            let mut model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+            let report = run_prepared(&mut model, dataset.name(), &split, &scale);
+            print_row(&[
+                dataset.name().into(),
+                format!("{alpha:.1}"),
+                pct(report.test.accuracy),
+                pct(report.test.f1),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Figs. 12 and 14 — the effect of the contrastive temperature
+//! t ∈ {0.1 … 0.5} on both datasets (question Q4, §V-D-4).
+//!
+//! Reproduction criterion: an interior optimum near t = 0.3 — very sharp
+//! temperatures over-separate, very soft ones under-separate.
+
+use ahntp::Ahntp;
+use ahntp_bench::{ahntp_config, pct, print_row, run_prepared, Dataset, Scale};
+
+const TEMPERATURES: [f32; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Figs. 12 & 14 — contrastive learning with different t");
+    println!();
+    print_row(&[
+        "Dataset".into(),
+        "t".into(),
+        "Accuracy".into(),
+        "F1-Score".into(),
+    ]);
+    print_row(&vec!["---".into(); 4]);
+    for dataset in Dataset::ALL {
+        let ds = dataset.generate(&scale);
+        let split = ds.split(0.8, 0.2, 2, scale.seed);
+        for t in TEMPERATURES {
+            let mut cfg = ahntp_config(&scale);
+            cfg.temperature = t;
+            let mut model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+            let report = run_prepared(&mut model, dataset.name(), &split, &scale);
+            print_row(&[
+                dataset.name().into(),
+                format!("{t:.1}"),
+                pct(report.test.accuracy),
+                pct(report.test.f1),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Figs. 7–8 — ablation study (question Q3, §V-C): the full AHNTP against
+//! its nompr / noatt / nocon variants on both datasets.
+//!
+//! Reproduction criterion: the full model beats every variant on both
+//! metrics and both datasets; each removed component costs measurable
+//! accuracy.
+
+use ahntp::{Ahntp, AhntpVariant};
+use ahntp_bench::{ahntp_variant_config, pct, print_row, run_prepared, Dataset, Scale};
+
+const VARIANTS: [AhntpVariant; 4] = [
+    AhntpVariant::NoAttention,
+    AhntpVariant::NoMpr,
+    AhntpVariant::NoContrastive,
+    AhntpVariant::Full,
+];
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Figs. 7-8 — ablation study of model variants (Table V axes)");
+    println!();
+    print_row(&[
+        "Dataset".into(),
+        "Variant".into(),
+        "Accuracy".into(),
+        "F1-Score".into(),
+    ]);
+    print_row(&vec!["---".into(); 4]);
+    for dataset in Dataset::ALL {
+        let ds = dataset.generate(&scale);
+        let split = ds.split(0.8, 0.2, 2, scale.seed);
+        for variant in VARIANTS {
+            let cfg = ahntp_variant_config(&scale, variant);
+            let mut model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+            let report = run_prepared(&mut model, dataset.name(), &split, &scale);
+            print_row(&[
+                dataset.name().into(),
+                variant.to_string(),
+                pct(report.test.accuracy),
+                pct(report.test.f1),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Figs. 9–10 — the effect of hypergraph-convolution depth (1–5 layers)
+//! on both datasets (question Q4, §V-D-2).
+//!
+//! Reproduction criterion: performance peaks at 3 layers and declines
+//! beyond (over-smoothing), as the paper reports.
+
+use ahntp::{Ahntp, AhntpConfig};
+use ahntp_bench::{pct, print_row, run_prepared, Dataset, Scale};
+
+/// Layer widths per depth, truncating/extending the default pyramid the
+/// same way the paper stacks its 256-128-64 architecture.
+fn dims_for_depth(base: &[usize], depth: usize) -> Vec<usize> {
+    let mut dims = Vec::with_capacity(depth);
+    for i in 0..depth {
+        dims.push(base[i.min(base.len() - 1)]);
+    }
+    dims
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let base = scale.large_dims();
+    println!("# Figs. 9-10 — performance with different numbers of layers");
+    println!();
+    print_row(&[
+        "Dataset".into(),
+        "Layers".into(),
+        "Dims".into(),
+        "Accuracy".into(),
+        "F1-Score".into(),
+    ]);
+    print_row(&vec!["---".into(); 5]);
+    for dataset in Dataset::ALL {
+        let ds = dataset.generate(&scale);
+        let split = ds.split(0.8, 0.2, 2, scale.seed);
+        for depth in 1..=5usize {
+            let dims = dims_for_depth(&base, depth);
+            let cfg = AhntpConfig {
+                conv_dims: dims.clone(),
+                tower_dims: vec![16],
+                seed: scale.seed,
+                ..AhntpConfig::default()
+            };
+            let mut model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+            let report = run_prepared(&mut model, dataset.name(), &split, &scale);
+            print_row(&[
+                dataset.name().into(),
+                depth.to_string(),
+                Scale::dims_label(&dims),
+                pct(report.test.accuracy),
+                pct(report.test.f1),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks of the engineering-critical kernels:
+//! motif-induced adjacency (Table II pipeline), Motif-based PageRank,
+//! hypergraph convolution forward/backward, and the sparse kernels they
+//! are built from. These quantify the design choices DESIGN.md calls out
+//! (masked vs unfused sparse products, attention vs plain convolution).
+
+use ahntp_data::{DatasetConfig, TrustDataset};
+use ahntp_graph::{motif_adjacency, motif_pagerank, pagerank, Motif, MotifPageRankConfig, PageRankConfig};
+use ahntp_hypergraph::{attribute_hypergroup, pairwise_hypergroup, Hypergraph};
+use ahntp_nn::{AdaptiveHypergraphConv, HypergraphConv, Module, Session};
+use ahntp_tensor::{xavier_uniform, CsrMatrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup() -> (TrustDataset, Hypergraph) {
+    let ds = TrustDataset::generate(&DatasetConfig::ciao_like(300, 9));
+    let attr = attribute_hypergroup(ds.graph.n(), &ds.attributes);
+    let pair = pairwise_hypergroup(&ds.graph);
+    let h = Hypergraph::concat(&[&attr, &pair]);
+    (ds, h)
+}
+
+fn bench_motif_adjacency(c: &mut Criterion) {
+    let (ds, _) = setup();
+    let mut group = c.benchmark_group("motif_adjacency");
+    for motif in [Motif::M1, Motif::M4, Motif::M6] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(motif),
+            &motif,
+            |b, &motif| b.iter(|| motif_adjacency(&ds.graph, motif)),
+        );
+    }
+    // The unfused alternative (full spmm then Hadamard) as the ablation
+    // point for the masked-product design choice.
+    let uc = ds.graph.unidirectional();
+    let uc_t = uc.transpose();
+    group.bench_function("m1_fused_masked_spmm", |b| {
+        b.iter(|| uc.spmm_masked(&uc, &uc_t))
+    });
+    group.bench_function("m1_unfused_spmm_then_hadamard", |b| {
+        b.iter(|| uc.spmm(&uc).hadamard(&uc_t))
+    });
+    group.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let (ds, _) = setup();
+    let mut group = c.benchmark_group("pagerank");
+    group.bench_function("plain", |b| {
+        b.iter(|| pagerank(&ds.graph, &PageRankConfig::default()))
+    });
+    group.bench_function("motif_based_m6", |b| {
+        b.iter(|| motif_pagerank(&ds.graph, Motif::M6, &MotifPageRankConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_hypergraph_conv(c: &mut Criterion) {
+    let (ds, h) = setup();
+    let x = xavier_uniform(ds.graph.n(), 32, 11);
+    let plain = HypergraphConv::new("b.plain", &h, 32, 32, 5);
+    let adaptive = AdaptiveHypergraphConv::new("b.adaptive", &h, 32, 32, 5);
+    let mut group = c.benchmark_group("hypergraph_conv");
+    group.bench_function("plain_forward", |b| {
+        b.iter(|| {
+            let s = Session::new();
+            let xv = s.constant(x.clone());
+            plain.forward(&s, &xv).value()
+        })
+    });
+    group.bench_function("adaptive_forward", |b| {
+        b.iter(|| {
+            let s = Session::new();
+            let xv = s.constant(x.clone());
+            adaptive.forward(&s, &xv).value()
+        })
+    });
+    group.bench_function("adaptive_forward_backward", |b| {
+        b.iter(|| {
+            let s = Session::new();
+            let xv = s.constant(x.clone());
+            let y = adaptive.forward(&s, &xv);
+            y.mul(&y).sum().backward();
+            s.harvest();
+            adaptive.params().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sparse_kernels(c: &mut Criterion) {
+    let (ds, h) = setup();
+    let inc: CsrMatrix<f32> = h.incidence();
+    let x = xavier_uniform(h.n_edges(), 64, 13);
+    let mut group = c.benchmark_group("sparse_kernels");
+    group.bench_function("incidence_mul_dense", |b| b.iter(|| inc.mul_dense(&x)));
+    group.bench_function("incidence_t_mul_dense", |b| {
+        let y = xavier_uniform(h.n_vertices(), 64, 14);
+        b.iter(|| inc.t_mul_dense(&y))
+    });
+    let adj = ds.graph.adjacency();
+    group.bench_function("adjacency_spmm_self", |b| b.iter(|| adj.spmm(adj)));
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_motif_adjacency, bench_pagerank, bench_hypergraph_conv, bench_sparse_kernels
+);
+criterion_main!(benches);

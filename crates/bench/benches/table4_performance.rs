@@ -1,0 +1,56 @@
+//! Table IV — accuracy and F1 of all nine models on both datasets at
+//! training ratios 50/60/70/80% (questions Q1 and Q2 of §V-B).
+//!
+//! Reproduction criteria (shape, not absolute values): AHNTP wins every
+//! row; hypergraph methods (UniGCN/UniGAT/HGNN+) beat the graph-based trust
+//! methods (Guardian/KGTrust), which beat the plain embeddings (GAT, SGC,
+//! AtNE-Trust); AHNTP degrades least as the training share shrinks.
+
+use ahntp_bench::{pct, print_row, run_model, Dataset, Scale, TABLE4_MODELS};
+
+const TRAIN_RATIOS: [f64; 4] = [0.5, 0.6, 0.7, 0.8];
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Table IV — performance comparison with different training sets");
+    println!();
+    let mut header = vec!["Dataset".into(), "Metric".into(), "Train%".into()];
+    header.extend(TABLE4_MODELS.iter().map(|m| (*m).to_string()));
+    print_row(&header);
+    print_row(&vec!["---".into(); header.len()]);
+
+    for dataset in Dataset::ALL {
+        let ds = dataset.generate(&scale);
+        // accuracy rows then F1 rows, as in the paper.
+        let mut acc_rows: Vec<Vec<String>> = Vec::new();
+        let mut f1_rows: Vec<Vec<String>> = Vec::new();
+        for ratio in TRAIN_RATIOS {
+            let split = ds.split(ratio, 0.2, 2, scale.seed);
+            let mut acc = vec![
+                dataset.name().to_string(),
+                "Accuracy".into(),
+                format!("{:.0}%", ratio * 100.0),
+            ];
+            let mut f1 = vec![
+                dataset.name().to_string(),
+                "F1-Score".into(),
+                format!("{:.0}%", ratio * 100.0),
+            ];
+            for model in TABLE4_MODELS {
+                let report = run_model(model, &ds, &split, &scale);
+                acc.push(pct(report.test.accuracy));
+                f1.push(pct(report.test.f1));
+            }
+            acc_rows.push(acc);
+            f1_rows.push(f1);
+        }
+        for row in acc_rows.into_iter().chain(f1_rows) {
+            print_row(&row);
+        }
+    }
+    println!();
+    println!(
+        "Scale: {} / {} users, {} epochs (set AHNTP_USERS_*/AHNTP_EPOCHS/AHNTP_FULL to rescale).",
+        scale.users_ciao, scale.users_epinions, scale.epochs
+    );
+}

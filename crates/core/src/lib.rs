@@ -1,0 +1,47 @@
+//! # AHNTP — Adaptive Hypergraph Network for Trust Prediction
+//!
+//! A from-scratch Rust reproduction of *Adaptive Hypergraph Network for
+//! Trust Prediction* (ICDE 2024). The crate assembles the full §IV pipeline
+//! on top of the workspace substrates:
+//!
+//! 1. **Motif-based PageRank** (`ahntp-graph`) ranks users by high-order
+//!    social influence (Eqs. 1–5).
+//! 2. **Two-tier hypergroups** (`ahntp-hypergraph`) encode node-level
+//!    (social influence, attributes) and structure-level (pairwise,
+//!    multi-hop) correlations (Eqs. 6–9).
+//! 3. **Hypergroup MLPs + adaptive hypergraph convolutions** (`ahntp-nn`)
+//!    produce user embeddings (Eqs. 10–16), which pairwise MLP towers map
+//!    into the similarity space (Eqs. 17–19).
+//! 4. **Supervised contrastive + cross-entropy training** with the
+//!    hypergraph smoothness regulariser (Eqs. 20–24).
+//!
+//! ```no_run
+//! use ahntp::{Ahntp, AhntpConfig};
+//! use ahntp_data::{DatasetConfig, TrustDataset};
+//! use ahntp_eval::{train_and_evaluate, TrainConfig, TrustModel};
+//!
+//! let ds = TrustDataset::generate(&DatasetConfig::ciao_like(400, 7));
+//! let split = ds.split(0.8, 0.2, 2, 42);
+//! let mut model = Ahntp::new(
+//!     &ds.features,
+//!     &ds.attributes,
+//!     &split.train_graph,
+//!     &AhntpConfig::default(),
+//! );
+//! let report = train_and_evaluate(&mut model, &split.train, &split.test,
+//!                                 &TrainConfig::default());
+//! println!("{}: {}", report.model, report.test);
+//! ```
+//!
+//! The ablation variants of §V-C are plain configuration switches:
+//! [`AhntpConfig::no_mpr`], [`AhntpConfig::no_attention`],
+//! [`AhntpConfig::no_contrastive`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod model;
+
+pub use config::{AhntpConfig, AhntpVariant};
+pub use model::Ahntp;

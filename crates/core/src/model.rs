@@ -1,0 +1,548 @@
+//! The AHNTP model: hypergraph construction, embedding pipeline, training
+//! objective, and the [`TrustModel`] implementation.
+
+use crate::{AhntpConfig, AhntpVariant};
+use ahntp_autograd::Var;
+use ahntp_data::LabeledPair;
+use ahntp_eval::TrustModel;
+use ahntp_graph::{motif_pagerank, pagerank, DiGraph, MotifPageRankConfig, PageRankConfig};
+use ahntp_hypergraph::{
+    attribute_hypergroup, multi_hop_hypergroup_capped, pairwise_hypergroup,
+    social_influence_hypergroup, Hypergraph,
+};
+use ahntp_nn::loss::{
+    bce_from_similarity, combined_loss, similarity_to_probability, smoothness_penalty,
+    supervised_contrastive, ContrastiveBatch,
+};
+use ahntp_nn::{
+    Adam, AdaptiveHypergraphConv, HypergraphConv, Mlp, Module, Optimizer, Param, Session,
+};
+use ahntp_tensor::{CsrMatrix, Tensor};
+use std::rc::Rc;
+
+/// Cap on multi-hop hyperedge cardinality (closest-first, see
+/// [`multi_hop_hypergroup_capped`]). Keeps attention over incidence pairs
+/// linear in the graph size at high hop counts.
+const MAX_HOP_EDGE_SIZE: usize = 32;
+
+/// One stack of hypergraph convolutions over a fixed hypergraph — adaptive
+/// (Eqs. 14–16) for the full model, plain (Eqs. 10–13) for `AHNTP_noatt`.
+enum ConvStack {
+    Adaptive(Vec<AdaptiveHypergraphConv>),
+    Plain(Vec<HypergraphConv>),
+}
+
+impl ConvStack {
+    fn new(
+        name: &str,
+        hypergraph: &Hypergraph,
+        in_dim: usize,
+        dims: &[usize],
+        adaptive: bool,
+        seed: u64,
+    ) -> ConvStack {
+        let mut prev = in_dim;
+        if adaptive {
+            let mut layers = Vec::with_capacity(dims.len());
+            for (i, &d) in dims.iter().enumerate() {
+                layers.push(AdaptiveHypergraphConv::new(
+                    &format!("{name}.conv{i}"),
+                    hypergraph,
+                    prev,
+                    d,
+                    seed,
+                ));
+                prev = d;
+            }
+            ConvStack::Adaptive(layers)
+        } else {
+            let mut layers = Vec::with_capacity(dims.len());
+            for (i, &d) in dims.iter().enumerate() {
+                layers.push(HypergraphConv::new(
+                    &format!("{name}.conv{i}"),
+                    hypergraph,
+                    prev,
+                    d,
+                    seed,
+                ));
+                prev = d;
+            }
+            ConvStack::Plain(layers)
+        }
+    }
+
+    fn forward(&self, s: &Session, x: &Var) -> Var {
+        let mut h = x.clone();
+        match self {
+            ConvStack::Adaptive(layers) => {
+                for l in layers {
+                    h = l.forward(s, &h);
+                }
+            }
+            ConvStack::Plain(layers) => {
+                for l in layers {
+                    h = l.forward(s, &h);
+                }
+            }
+        }
+        h
+    }
+
+    fn params(&self) -> Vec<Param> {
+        match self {
+            ConvStack::Adaptive(layers) => layers.iter().flat_map(Module::params).collect(),
+            ConvStack::Plain(layers) => layers.iter().flat_map(Module::params).collect(),
+        }
+    }
+}
+
+/// The Adaptive Hypergraph Network for Trust Prediction.
+///
+/// Construction precomputes everything structural — Motif-based PageRank,
+/// the four hypergroups, the aggregation operators, and the hypergraph
+/// Laplacian — from the *training* graph only (test edges never shape the
+/// structure). Training is full-batch Adam over the combined objective of
+/// Eqs. 20–24.
+pub struct Ahntp {
+    cfg: AhntpConfig,
+    features: Tensor,
+    node_mlp: Mlp,
+    struct_mlp: Mlp,
+    node_stack: ConvStack,
+    struct_stack: ConvStack,
+    tower_a: Mlp,
+    tower_b: Mlp,
+    laplacian: Rc<CsrMatrix<f32>>,
+    optimizer: Adam,
+    influence: Vec<f64>,
+}
+
+impl Ahntp {
+    /// Builds the model over the training graph.
+    ///
+    /// * `features` — the `n × C` user feature matrix `X`,
+    /// * `attributes` — observable attribute ids per user (Eq. 7 input),
+    /// * `graph` — the social graph visible at training time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or dimensions disagree.
+    pub fn new(
+        features: &Tensor,
+        attributes: &[Vec<usize>],
+        graph: &DiGraph,
+        cfg: &AhntpConfig,
+    ) -> Ahntp {
+        cfg.validate().expect("invalid AhntpConfig");
+        assert_eq!(
+            features.rows(),
+            graph.n(),
+            "Ahntp::new: {} feature rows for {} users",
+            features.rows(),
+            graph.n()
+        );
+        assert_eq!(
+            attributes.len(),
+            graph.n(),
+            "Ahntp::new: {} attribute lists for {} users",
+            attributes.len(),
+            graph.n()
+        );
+
+        // §IV-B-1: social influence ranking. The nompr ablation swaps
+        // Motif-based PageRank for plain PageRank.
+        let influence = if cfg.variant == AhntpVariant::NoMpr {
+            pagerank(graph, &PageRankConfig::default())
+        } else {
+            motif_pagerank(
+                graph,
+                cfg.motif,
+                &MotifPageRankConfig {
+                    alpha: cfg.alpha,
+                    pagerank: PageRankConfig::default(),
+                },
+            )
+        };
+
+        // §IV-B: the two-tier hypergroups.
+        let hss = social_influence_hypergroup(graph, &influence, cfg.top_k_influence);
+        let attr = attribute_hypergroup(graph.n(), attributes);
+        let node_hg = Hypergraph::concat(&[&hss, &attr]);
+        let pair = pairwise_hypergroup(graph);
+        let hop = multi_hop_hypergroup_capped(graph, cfg.multi_hops, MAX_HOP_EDGE_SIZE);
+        let struct_hg = Hypergraph::concat(&[&pair, &hop]);
+        let full_hg = Hypergraph::concat(&[&node_hg, &struct_hg]);
+        let laplacian = Rc::new(full_hg.laplacian());
+
+        let adaptive = cfg.variant != AhntpVariant::NoAttention;
+        let c = features.cols();
+        let d0 = cfg.conv_dims[0];
+        let node_mlp = Mlp::new("node_mlp", &[c, d0], true, cfg.seed);
+        let struct_mlp = Mlp::new("struct_mlp", &[c, d0], true, cfg.seed ^ 0x5f5f);
+        let node_stack = ConvStack::new("node", &node_hg, d0, &cfg.conv_dims, adaptive, cfg.seed);
+        let struct_stack = ConvStack::new(
+            "struct",
+            &struct_hg,
+            d0,
+            &cfg.conv_dims,
+            adaptive,
+            cfg.seed ^ 0xa5a5,
+        );
+
+        // Eqs. 17–18: pairwise towers. The final layer is linear (no ReLU)
+        // so tower outputs span both signs and the cosine head (Eq. 19)
+        // covers the full [-1, 1] range — with a ReLU output every cosine
+        // would be non-negative and "distrust" unrepresentable.
+        let emb_dim = 2 * *cfg.conv_dims.last().expect("validated non-empty");
+        let mut tower_dims = vec![emb_dim];
+        tower_dims.extend_from_slice(&cfg.tower_dims);
+        let tower_a = Mlp::new("tower_a", &tower_dims, false, cfg.seed ^ 0x1111);
+        let tower_b = Mlp::new("tower_b", &tower_dims, false, cfg.seed ^ 0x2222);
+
+        let mut params = Vec::new();
+        params.extend(node_mlp.params());
+        params.extend(struct_mlp.params());
+        params.extend(node_stack.params());
+        params.extend(struct_stack.params());
+        params.extend(tower_a.params());
+        params.extend(tower_b.params());
+        let optimizer = Adam::new(params, cfg.adam);
+
+        // Centre the input features column-wise. Raw behavioural features
+        // are non-negative; through stacked mean aggregations they collapse
+        // into a narrow positive cone where cosine similarity saturates.
+        // Centring restores a signed space in which the cosine head can
+        // discriminate (a standard preprocessing step; the paper's inputs
+        // go through the same normalisation inside PyTorch pipelines).
+        let col_means = features.col_sums().scale(1.0 / features.rows() as f32);
+        let mut centered = features.clone();
+        for r in 0..centered.rows() {
+            let row = centered.row_mut(r);
+            for (v, &m) in row.iter_mut().zip(col_means.as_slice()) {
+                *v -= m;
+            }
+        }
+        Ahntp {
+            cfg: cfg.clone(),
+            features: centered,
+            node_mlp,
+            struct_mlp,
+            node_stack,
+            struct_stack,
+            tower_a,
+            tower_b,
+            laplacian,
+            optimizer,
+            influence,
+        }
+    }
+
+    /// The social-influence scores used to build the influence hypergroup
+    /// (Motif-based PageRank, or plain PageRank under `AHNTP_nompr`).
+    pub fn influence_scores(&self) -> &[f64] {
+        &self.influence
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AhntpConfig {
+        &self.cfg
+    }
+
+    /// Forward pass to the comprehensive user embedding (node-level and
+    /// structure-level paths concatenated).
+    fn embed(&self, s: &Session) -> Var {
+        let x = s.constant(self.features.clone());
+        let node = self
+            .node_stack
+            .forward(s, &self.node_mlp.forward(s, &x));
+        let stru = self
+            .struct_stack
+            .forward(s, &self.struct_mlp.forward(s, &x));
+        s.graph().concat_cols(&[&node, &stru])
+    }
+
+    /// Cosine similarity per pair (Eq. 19) on a given session.
+    fn pair_similarities(&self, s: &Session, pairs: &[LabeledPair]) -> Var {
+        let emb = self.embed(s);
+        let ta_all = self.tower_a.forward(s, &emb);
+        let tb_all = self.tower_b.forward(s, &emb);
+        let trustors = Rc::new(pairs.iter().map(|p| p.trustor).collect::<Vec<_>>());
+        let trustees = Rc::new(pairs.iter().map(|p| p.trustee).collect::<Vec<_>>());
+        let ta = ta_all.gather_rows(&trustors);
+        let tb = tb_all.gather_rows(&trustees);
+        ta.pairwise_cosine(&tb)
+    }
+
+    /// All trainable parameters in a stable order (for optimizers,
+    /// checkpoints, and inspection).
+    pub fn parameters(&self) -> Vec<Param> {
+        self.optimizer.params().to_vec()
+    }
+
+    /// Serialises the trained parameters into a checkpoint
+    /// (state-dict-style; see `ahntp_nn::save_params`).
+    pub fn save(&self) -> Vec<u8> {
+        ahntp_nn::save_params(self.optimizer.params()).to_vec()
+    }
+
+    /// Loads a checkpoint produced by [`Ahntp::save`] into this model.
+    /// The model must have been built with the same architecture (config
+    /// and hypergraph shapes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ahntp_nn::CheckpointError`] on format, name, or shape
+    /// mismatches.
+    pub fn load(&self, checkpoint: &[u8]) -> Result<(), ahntp_nn::CheckpointError> {
+        ahntp_nn::load_params(self.optimizer.params(), checkpoint)
+    }
+
+    /// The comprehensive user embedding matrix (`n × 2·conv_dims.last()`),
+    /// computed with the current parameters. Exposed for downstream use
+    /// (clustering, visualisation, the examples).
+    pub fn embeddings(&self) -> Tensor {
+        let s = Session::new();
+        self.embed(&s).value()
+    }
+
+    /// Trust probability for a single user pair.
+    pub fn predict_pair(&self, trustor: usize, trustee: usize) -> f32 {
+        self.predict(&[LabeledPair {
+            trustor,
+            trustee,
+            label: false,
+        }])[0]
+    }
+}
+
+impl TrustModel for Ahntp {
+    fn name(&self) -> String {
+        self.cfg.variant.to_string()
+    }
+
+    fn train_epoch(&mut self, pairs: &[LabeledPair]) -> f32 {
+        assert!(!pairs.is_empty(), "train_epoch: no pairs");
+        self.optimizer.zero_grad();
+        let s = Session::new();
+        let cs = self.pair_similarities(&s, pairs);
+        let labels = Tensor::vector(pairs.iter().map(|p| f32::from(p.label)).collect());
+        let l2 = bce_from_similarity(&s, &cs, &labels);
+        let mut loss = if self.cfg.variant == AhntpVariant::NoContrastive {
+            l2
+        } else {
+            // Eq. 20: anchors are trustors; positives are their trusted
+            // partners, negatives the sampled non-partners.
+            let anchors: Vec<usize> = pairs.iter().map(|p| p.trustor).collect();
+            let is_pos: Vec<bool> = pairs.iter().map(|p| p.label).collect();
+            let batch = ContrastiveBatch::new(&anchors, &is_pos);
+            let l1 = supervised_contrastive(&s, &cs, &batch, self.cfg.temperature);
+            combined_loss(&l1, &l2, self.cfg.lambda1, self.cfg.lambda2)
+        };
+        if self.cfg.smoothness_weight > 0.0 {
+            // Eq. 23: label smoothing over the trust hypergraph. Applied to
+            // the similarity-space embeddings (the classification function
+            // f of Eq. 24).
+            let emb = self.embed(&s);
+            let f = self.tower_a.forward(&s, &emb);
+            let reg = smoothness_penalty(&s, &self.laplacian, &f)
+                .scale(self.cfg.smoothness_weight / self.features.rows() as f32);
+            loss = loss.add(&reg);
+        }
+        let loss_value = loss.value().as_slice()[0];
+        loss.backward();
+        s.harvest();
+        self.optimizer.step();
+        loss_value
+    }
+
+    fn predict(&self, pairs: &[LabeledPair]) -> Vec<f32> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let s = Session::new();
+        let cs = self.pair_similarities(&s, pairs);
+        similarity_to_probability(&cs).value().into_vec()
+    }
+
+    fn n_parameters(&self) -> usize {
+        self.optimizer.params().iter().map(Param::numel).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahntp_data::{DatasetConfig, TrustDataset};
+    use ahntp_eval::{train_and_evaluate, TrainConfig};
+
+    fn tiny_setup() -> (TrustDataset, ahntp_data::Split) {
+        let ds = TrustDataset::generate(&DatasetConfig::ciao_like(80, 5));
+        let split = ds.split(0.8, 0.2, 2, 42);
+        (ds, split)
+    }
+
+    fn tiny_config() -> AhntpConfig {
+        AhntpConfig {
+            conv_dims: vec![16, 8],
+            tower_dims: vec![8],
+            ..AhntpConfig::default()
+        }
+    }
+
+    #[test]
+    fn model_builds_and_reports_parameters() {
+        let (ds, split) = tiny_setup();
+        let model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &tiny_config());
+        assert!(model.n_parameters() > 500);
+        assert_eq!(model.name(), "AHNTP");
+        assert_eq!(model.influence_scores().len(), 80);
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let (ds, split) = tiny_setup();
+        let model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &tiny_config());
+        let scores = model.predict(&split.test);
+        assert_eq!(scores.len(), split.test.len());
+        assert!(scores.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(model.predict(&[]).is_empty());
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let (ds, split) = tiny_setup();
+        let mut model =
+            Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &tiny_config());
+        let first = model.train_epoch(&split.train);
+        let mut last = first;
+        for _ in 0..8 {
+            last = model.train_epoch(&split.train);
+        }
+        assert!(last < first, "loss should fall: first {first}, last {last}");
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn training_beats_chance_on_tiny_data() {
+        let (ds, split) = tiny_setup();
+        let mut model =
+            Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &tiny_config());
+        let report = train_and_evaluate(
+            &mut model,
+            &split.train,
+            &split.test,
+            &TrainConfig {
+                epochs: 40,
+                ..TrainConfig::default()
+            },
+        );
+        // 1/3 positives, 2/3 negatives → majority-class accuracy is 2/3.
+        // Even the tiny model must rank better than random.
+        assert!(
+            report.test.auc > 0.6,
+            "AUC {:.3} should beat chance",
+            report.test.auc
+        );
+    }
+
+    #[test]
+    fn ablation_variants_train() {
+        let (ds, split) = tiny_setup();
+        for cfg in [
+            tiny_config().no_mpr(),
+            tiny_config().no_attention(),
+            tiny_config().no_contrastive(),
+        ] {
+            let mut model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+            let loss = model.train_epoch(&split.train);
+            assert!(loss.is_finite(), "{} diverged", model.name());
+            assert_eq!(model.name(), cfg.variant.to_string());
+        }
+    }
+
+    #[test]
+    fn embeddings_have_expected_shape() {
+        let (ds, split) = tiny_setup();
+        let model =
+            Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &tiny_config());
+        let emb = model.embeddings();
+        assert_eq!(emb.rows(), 80);
+        assert_eq!(emb.cols(), 16); // 2 × last conv dim (8)
+        assert!(emb.all_finite());
+    }
+
+    #[test]
+    fn predict_pair_is_symmetric_api() {
+        let (ds, split) = tiny_setup();
+        let model =
+            Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &tiny_config());
+        let p = model.predict_pair(0, 1);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows")]
+    fn mismatched_features_rejected() {
+        let (ds, split) = tiny_setup();
+        let bad = Tensor::zeros(10, ds.features.cols());
+        Ahntp::new(&bad, &ds.attributes, &split.train_graph, &tiny_config());
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use ahntp_data::{DatasetConfig, TrustDataset};
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let ds = TrustDataset::generate(&DatasetConfig::ciao_like(80, 5));
+        let split = ds.split(0.8, 0.2, 2, 42);
+        let cfg = AhntpConfig {
+            conv_dims: vec![16, 8],
+            tower_dims: vec![8],
+            ..AhntpConfig::default()
+        };
+        let mut trained = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+        for _ in 0..3 {
+            trained.train_epoch(&split.train);
+        }
+        let blob = trained.save();
+        // A fresh model with a different seed predicts differently…
+        let mut fresh_cfg = cfg.clone();
+        fresh_cfg.seed ^= 0xffff;
+        let fresh = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &fresh_cfg);
+        assert_ne!(fresh.predict(&split.test), trained.predict(&split.test));
+        // …until the checkpoint is loaded.
+        fresh.load(&blob).expect("same architecture");
+        assert_eq!(fresh.predict(&split.test), trained.predict(&split.test));
+        assert!(!trained.parameters().is_empty());
+    }
+
+    #[test]
+    fn load_rejects_different_architecture() {
+        let ds = TrustDataset::generate(&DatasetConfig::ciao_like(80, 5));
+        let split = ds.split(0.8, 0.2, 2, 42);
+        let small = Ahntp::new(
+            &ds.features,
+            &ds.attributes,
+            &split.train_graph,
+            &AhntpConfig {
+                conv_dims: vec![16, 8],
+                tower_dims: vec![8],
+                ..AhntpConfig::default()
+            },
+        );
+        let wide = Ahntp::new(
+            &ds.features,
+            &ds.attributes,
+            &split.train_graph,
+            &AhntpConfig {
+                conv_dims: vec![32, 8],
+                tower_dims: vec![8],
+                ..AhntpConfig::default()
+            },
+        );
+        assert!(wide.load(&small.save()).is_err());
+    }
+}

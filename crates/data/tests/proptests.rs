@@ -1,0 +1,100 @@
+//! Property tests over the dataset generator and split machinery.
+
+use ahntp_data::{DatasetConfig, TrustDataset};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_config() -> impl Strategy<Value = DatasetConfig> {
+    (60usize..140, 0u64..500, proptest::bool::ANY).prop_map(|(n, seed, ciao)| {
+        if ciao {
+            DatasetConfig::ciao_like(n, seed)
+        } else {
+            DatasetConfig::epinions_like(n, seed)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_datasets_are_internally_consistent(cfg in arb_config()) {
+        let ds = TrustDataset::generate(&cfg);
+        prop_assert_eq!(ds.graph.n(), cfg.n_users);
+        prop_assert_eq!(ds.features.rows(), cfg.n_users);
+        prop_assert_eq!(ds.attributes.len(), cfg.n_users);
+        prop_assert!(ds.features.all_finite());
+        // positives exactly mirror the graph's edges
+        prop_assert_eq!(ds.positives.len(), ds.graph.n_edges());
+        for &(u, v) in &ds.positives {
+            prop_assert!(ds.graph.has_edge(u, v));
+            prop_assert!(u != v);
+        }
+        // stats agree with the structure
+        let s = ds.stats();
+        prop_assert_eq!(s.users, cfg.n_users);
+        prop_assert_eq!(s.trust_relations, ds.positives.len());
+    }
+
+    #[test]
+    fn splits_partition_without_leaks(
+        cfg in arb_config(),
+        ratio_pct in 5usize..9,
+        split_seed in 0u64..100,
+    ) {
+        let ratio = ratio_pct as f64 / 10.0;
+        let ds = TrustDataset::generate(&cfg);
+        let split = ds.split(ratio, 0.2, 2, split_seed);
+        let train_pos: HashSet<_> = split
+            .train
+            .iter()
+            .filter(|p| p.label)
+            .map(|p| (p.trustor, p.trustee))
+            .collect();
+        let test_pos: HashSet<_> = split
+            .test
+            .iter()
+            .filter(|p| p.label)
+            .map(|p| (p.trustor, p.trustee))
+            .collect();
+        // Positives are disjoint between train and test.
+        prop_assert!(train_pos.is_disjoint(&test_pos));
+        // Train graph contains exactly the train positives.
+        prop_assert_eq!(split.train_graph.n_edges(), train_pos.len());
+        for &(u, v) in &train_pos {
+            prop_assert!(split.train_graph.has_edge(u, v));
+        }
+        // Negatives are never real edges.
+        for p in split.train.iter().chain(&split.test) {
+            if !p.label {
+                prop_assert!(!ds.graph.has_edge(p.trustor, p.trustee));
+            }
+        }
+        // Roughly two negatives per positive in each part.
+        let train_neg = split.train.len() - train_pos.len();
+        prop_assert!(train_neg <= 2 * train_pos.len());
+        prop_assert!(train_neg + 3 >= 2 * train_pos.len().saturating_sub(1));
+    }
+
+    #[test]
+    fn feature_histograms_are_probability_like(cfg in arb_config()) {
+        let ds = TrustDataset::generate(&cfg);
+        let cats = cfg.n_categories;
+        for u in 0..ds.graph.n() {
+            let hist = &ds.features.row(u)[..cats];
+            let sum: f32 = hist.iter().sum();
+            prop_assert!(hist.iter().all(|&v| v >= 0.0));
+            prop_assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-3, "user {} sum {}", u, sum);
+        }
+    }
+
+    #[test]
+    fn attribute_vocabulary_is_bounded(cfg in arb_config()) {
+        let ds = TrustDataset::generate(&cfg);
+        let vocab = cfg.n_communities + cfg.n_categories + cfg.n_noise_attributes;
+        for attrs in &ds.attributes {
+            prop_assert!(!attrs.is_empty());
+            prop_assert!(attrs.iter().all(|&a| a < vocab));
+        }
+    }
+}

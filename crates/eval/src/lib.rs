@@ -1,0 +1,13 @@
+//! Evaluation substrate: binary-classification metrics (§V-A-3 uses
+//! accuracy and F1), the [`TrustModel`] interface every method in the
+//! evaluation implements, and the training/evaluation loop shared by all
+//! experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod trainer;
+
+pub use metrics::{auc, binary_metrics, Metrics};
+pub use trainer::{train_and_evaluate, EvalReport, TrainConfig, TrustModel};

@@ -1,0 +1,223 @@
+//! The model interface and the shared training/evaluation loop.
+
+use crate::{binary_metrics, Metrics};
+use ahntp_data::LabeledPair;
+
+/// A trust-prediction model: anything that can fit labelled user pairs and
+/// score new ones. AHNTP, its ablation variants and all eight baselines
+/// implement this, so every experiment runs through one code path.
+pub trait TrustModel {
+    /// Model name as it appears in result tables.
+    fn name(&self) -> String;
+
+    /// Runs one optimization epoch over the training pairs, returning the
+    /// epoch's training loss.
+    fn train_epoch(&mut self, pairs: &[LabeledPair]) -> f32;
+
+    /// Scores pairs with trust probabilities in `[0, 1]`.
+    fn predict(&self, pairs: &[LabeledPair]) -> Vec<f32>;
+
+    /// Number of trainable scalars (for reporting).
+    fn n_parameters(&self) -> usize {
+        0
+    }
+}
+
+/// Training-loop configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Stop early when the training loss fails to improve by at least
+    /// `min_improvement` for `patience` consecutive epochs (0 disables).
+    pub patience: usize,
+    /// Minimum relative loss improvement that resets patience.
+    pub min_improvement: f32,
+    /// Decision threshold applied to predicted probabilities.
+    pub threshold: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 60,
+            patience: 10,
+            min_improvement: 1e-4,
+            threshold: 0.5,
+        }
+    }
+}
+
+/// Result of one train-and-evaluate run.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Model name.
+    pub model: String,
+    /// Test-set metrics.
+    pub test: Metrics,
+    /// Training-set metrics (overfitting diagnostic).
+    pub train: Metrics,
+    /// Final epoch training loss.
+    pub final_loss: f32,
+    /// Epochs actually run (≤ `TrainConfig::epochs` with early stopping).
+    pub epochs_run: usize,
+}
+
+/// Trains `model` on `train` and evaluates on both sets.
+///
+/// # Panics
+///
+/// Panics if the model produces NaN losses (divergence is a bug, not a
+/// result) or an empty prediction vector.
+pub fn train_and_evaluate(
+    model: &mut dyn TrustModel,
+    train: &[LabeledPair],
+    test: &[LabeledPair],
+    cfg: &TrainConfig,
+) -> EvalReport {
+    assert!(!train.is_empty() && !test.is_empty(), "empty split");
+    let mut best_loss = f32::INFINITY;
+    let mut stale = 0usize;
+    let mut final_loss = f32::NAN;
+    let mut epochs_run = 0usize;
+    for _ in 0..cfg.epochs {
+        let loss = model.train_epoch(train);
+        assert!(
+            loss.is_finite(),
+            "{}: training diverged (loss = {loss})",
+            model.name()
+        );
+        epochs_run += 1;
+        final_loss = loss;
+        if loss < best_loss * (1.0 - cfg.min_improvement) {
+            best_loss = loss;
+            stale = 0;
+        } else {
+            stale += 1;
+            if cfg.patience > 0 && stale >= cfg.patience {
+                break;
+            }
+        }
+    }
+    let eval = |pairs: &[LabeledPair]| -> Metrics {
+        let scores = model.predict(pairs);
+        assert_eq!(
+            scores.len(),
+            pairs.len(),
+            "{}: prediction count mismatch",
+            model.name()
+        );
+        let labels: Vec<bool> = pairs.iter().map(|p| p.label).collect();
+        binary_metrics(&scores, &labels, cfg.threshold)
+    };
+    EvalReport {
+        model: model.name(),
+        test: eval(test),
+        train: eval(train),
+        final_loss,
+        epochs_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake model that memorises label frequencies per trustor — enough
+    /// to exercise the loop mechanics deterministically.
+    struct Majority {
+        bias: f32,
+        losses: Vec<f32>,
+    }
+
+    impl TrustModel for Majority {
+        fn name(&self) -> String {
+            "majority".into()
+        }
+        fn train_epoch(&mut self, pairs: &[LabeledPair]) -> f32 {
+            let pos = pairs.iter().filter(|p| p.label).count() as f32;
+            self.bias = pos / pairs.len() as f32;
+            self.losses.remove(0)
+        }
+        fn predict(&self, pairs: &[LabeledPair]) -> Vec<f32> {
+            pairs.iter().map(|_| self.bias).collect()
+        }
+    }
+
+    fn pairs(labels: &[bool]) -> Vec<LabeledPair> {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| LabeledPair {
+                trustor: i,
+                trustee: i + 1,
+                label: l,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn early_stopping_kicks_in() {
+        let mut m = Majority {
+            bias: 0.0,
+            losses: vec![1.0; 50],
+        };
+        let tr = pairs(&[true, false, false]);
+        let te = pairs(&[true, false]);
+        let report = train_and_evaluate(
+            &mut m,
+            &tr,
+            &te,
+            &TrainConfig {
+                epochs: 50,
+                patience: 3,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(report.epochs_run <= 5, "flat loss must stop early");
+    }
+
+    #[test]
+    fn improving_loss_runs_to_completion() {
+        let mut m = Majority {
+            bias: 0.0,
+            losses: (0..20).map(|i| 1.0 / (i + 1) as f32).collect(),
+        };
+        let tr = pairs(&[true, false, false]);
+        let te = pairs(&[true, false]);
+        let report = train_and_evaluate(
+            &mut m,
+            &tr,
+            &te,
+            &TrainConfig {
+                epochs: 20,
+                patience: 3,
+                ..TrainConfig::default()
+            },
+        );
+        assert_eq!(report.epochs_run, 20);
+        assert!((report.final_loss - 1.0 / 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "training diverged")]
+    fn nan_loss_is_a_bug() {
+        let mut m = Majority {
+            bias: 0.0,
+            losses: vec![f32::NAN],
+        };
+        let tr = pairs(&[true, false]);
+        let te = pairs(&[true, false]);
+        train_and_evaluate(&mut m, &tr, &te, &TrainConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty split")]
+    fn empty_split_rejected() {
+        let mut m = Majority {
+            bias: 0.0,
+            losses: vec![1.0],
+        };
+        train_and_evaluate(&mut m, &[], &[], &TrainConfig::default());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests on hypergraph invariants over random structures.
+
+use ahntp_graph::DiGraph;
+use ahntp_hypergraph::{
+    attribute_hypergroup, multi_hop_hypergroup_capped, pairwise_hypergroup,
+    social_influence_hypergroup, Hypergraph,
+};
+use ahntp_tensor::Tensor;
+use proptest::prelude::*;
+
+const N: usize = 12;
+
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0usize..N, 1..6),
+        1..15,
+    )
+    .prop_map(|edge_sets| {
+        let mut h = Hypergraph::new(N);
+        for members in edge_sets {
+            let v: Vec<usize> = members.into_iter().collect();
+            h.add_edge(&v).expect("members in range by construction");
+        }
+        h
+    })
+}
+
+fn arb_digraph() -> impl Strategy<Value = DiGraph> {
+    proptest::collection::vec(proptest::bool::weighted(0.2), N * N).prop_map(|bits| {
+        let mut edges = Vec::new();
+        for (k, &b) in bits.iter().enumerate() {
+            let (u, v) = (k / N, k % N);
+            if b && u != v {
+                edges.push((u, v));
+            }
+        }
+        DiGraph::from_edges(N, &edges).expect("indices in range")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incidence_agrees_with_membership(h in arb_hypergraph()) {
+        let inc = h.incidence();
+        prop_assert!(inc.validate().is_ok());
+        for (e, members) in h.edges().iter().enumerate() {
+            for v in 0..N {
+                let expected = f32::from(members.contains(&v));
+                prop_assert_eq!(inc.get(v, e), expected, "vertex {} edge {}", v, e);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_identities(h in arb_hypergraph()) {
+        // Σ vertex degrees (unweighted) = Σ edge degrees = nnz(H).
+        let nnz = h.incidence().nnz();
+        let v_total: usize = h.vertex_edge_counts().iter().sum();
+        let e_total: usize = (0..h.n_edges()).map(|e| h.edge_degree(e)).sum();
+        prop_assert_eq!(v_total, nnz);
+        prop_assert_eq!(e_total, nnz);
+    }
+
+    #[test]
+    fn mean_operators_are_row_stochastic(h in arb_hypergraph()) {
+        for op in [h.vertex_to_edge_mean(), h.edge_to_vertex_mean()] {
+            prop_assert!(op.validate().is_ok());
+            for (r, s) in op.row_sums().iter().enumerate() {
+                prop_assert!(
+                    *s == 0.0 || (s - 1.0).abs() < 1e-5,
+                    "row {} sums to {}", r, s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_is_positive_semidefinite(h in arb_hypergraph(), seed in 0u64..1000) {
+        let f = ahntp_tensor::xavier_uniform(N, 3, seed);
+        prop_assert!(h.smoothness(&f) > -1e-4);
+    }
+
+    #[test]
+    fn laplacian_annihilates_sqrt_degree_vector(h in arb_hypergraph()) {
+        let null: Vec<f32> = h.vertex_degrees().iter().map(|&d| d.sqrt()).collect();
+        let f = Tensor::from_vec(N, 1, null).expect("N degrees");
+        prop_assert!(h.smoothness(&f).abs() < 1e-4);
+    }
+
+    #[test]
+    fn incidence_pairs_are_sorted_and_complete(h in arb_hypergraph()) {
+        let (pairs, segments) = h.incidence_pairs();
+        prop_assert_eq!(pairs.len(), h.incidence().nnz());
+        for w in pairs.windows(2) {
+            prop_assert!(w[0] <= w[1], "pairs must be sorted");
+        }
+        for (k, &(v, _)) in pairs.iter().enumerate() {
+            prop_assert_eq!(segments[k], v);
+        }
+    }
+
+    #[test]
+    fn concat_preserves_edge_multiset(h1 in arb_hypergraph(), h2 in arb_hypergraph()) {
+        let c = Hypergraph::concat(&[&h1, &h2]);
+        prop_assert_eq!(c.n_edges(), h1.n_edges() + h2.n_edges());
+        for e in 0..h1.n_edges() {
+            prop_assert_eq!(c.edge(e), h1.edge(e));
+        }
+        for e in 0..h2.n_edges() {
+            prop_assert_eq!(c.edge(h1.n_edges() + e), h2.edge(e));
+        }
+    }
+
+    #[test]
+    fn influence_group_invariants(g in arb_digraph(), k in 1usize..5) {
+        let scores: Vec<f64> = (0..N).map(|i| 1.0 / (i + 1) as f64).collect();
+        let h = social_influence_hypergroup(&g, &scores, k);
+        prop_assert_eq!(h.n_edges(), N, "one hyperedge per user");
+        for u in 0..N {
+            prop_assert!(h.edge(u).contains(&u), "central user {} missing", u);
+            prop_assert!(h.edge_degree(u) <= k + 1);
+        }
+        prop_assert_eq!(h.stats().isolated_vertices, 0);
+    }
+
+    #[test]
+    fn pairwise_group_is_two_uniform(g in arb_digraph()) {
+        let h = pairwise_hypergroup(&g);
+        for e in 0..h.n_edges() {
+            prop_assert_eq!(h.edge_degree(e), 2);
+        }
+        // One hyperedge per undirected tie.
+        let mut ties = std::collections::HashSet::new();
+        for u in 0..N {
+            for v in g.out_neighbors(u) {
+                ties.insert((u.min(v), u.max(v)));
+            }
+        }
+        prop_assert_eq!(h.n_edges(), ties.len());
+    }
+
+    #[test]
+    fn capped_multihop_respects_bounds(g in arb_digraph(), hops in 1usize..4, cap in 1usize..8) {
+        let h = multi_hop_hypergroup_capped(&g, hops, cap);
+        prop_assert_eq!(h.n_edges(), hops * N);
+        for e in 0..h.n_edges() {
+            prop_assert!(h.edge_degree(e) <= cap + 1);
+        }
+    }
+
+    #[test]
+    fn attribute_group_members_share_the_attribute(
+        attrs in proptest::collection::vec(proptest::collection::vec(0usize..6, 0..3), N)
+    ) {
+        let h = attribute_hypergroup(N, &attrs);
+        for e in 0..h.n_edges() {
+            prop_assert!(h.edge_degree(e) >= 2, "singleton attribute hyperedge");
+            // All members share at least one attribute.
+            let members = h.edge(e);
+            let shared = (0..6).any(|a| {
+                members.iter().all(|&u| attrs[u].contains(&a))
+            });
+            prop_assert!(shared, "edge {} members {:?} share nothing", e, members);
+        }
+    }
+}

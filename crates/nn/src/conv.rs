@@ -1,0 +1,397 @@
+//! Hypergraph convolution layers: the plain two-step spatial convolution of
+//! Eqs. 10–13 and the adaptive attention layer of Eqs. 14–16.
+
+use crate::{Module, Param, Session};
+use ahntp_autograd::Var;
+use ahntp_hypergraph::Hypergraph;
+use ahntp_tensor::{xavier_uniform, CsrMatrix, SplitMix64, Tensor};
+use std::rc::Rc;
+
+/// Negative slope of the LeakyReLU in the attention score (Eq. 14); 0.2 is
+/// the GAT convention the paper follows.
+const ATTENTION_SLOPE: f32 = 0.2;
+
+/// Shared constant structure extracted from a [`Hypergraph`] once and
+/// reused by every layer/step over it.
+#[derive(Clone)]
+struct HypergraphOps {
+    /// `m × n` vertex→edge mean operator (Eq. 10).
+    v2e: Rc<CsrMatrix<f32>>,
+    /// `n × m` edge→vertex mean operator (Eq. 12).
+    e2v: Rc<CsrMatrix<f32>>,
+    /// Incidence pairs sorted by vertex, for attention (Eqs. 14–16).
+    pairs: Rc<Vec<(usize, usize)>>,
+    /// Per-pair central-vertex segment ids (softmax groups of Eq. 15).
+    segments: Rc<Vec<usize>>,
+    /// Row index per pair: the central vertex (to gather `x_i`).
+    pair_vertices: Rc<Vec<usize>>,
+    /// Row index per pair: the hyperedge (to gather `h_e`).
+    pair_edges: Rc<Vec<usize>>,
+    n_vertices: usize,
+}
+
+impl HypergraphOps {
+    fn new(h: &Hypergraph) -> HypergraphOps {
+        let (pairs, segments) = h.incidence_pairs();
+        let pair_vertices = pairs.iter().map(|&(v, _)| v).collect::<Vec<_>>();
+        let pair_edges = pairs.iter().map(|&(_, e)| e).collect::<Vec<_>>();
+        HypergraphOps {
+            v2e: Rc::new(h.vertex_to_edge_mean()),
+            e2v: Rc::new(h.edge_to_vertex_mean()),
+            pairs: Rc::new(pairs),
+            segments: Rc::new(segments),
+            pair_vertices: Rc::new(pair_vertices),
+            pair_edges: Rc::new(pair_edges),
+            n_vertices: h.n_vertices(),
+        }
+    }
+}
+
+/// The plain two-step spatial hypergraph convolution (Eqs. 10–13):
+///
+/// 1. `Mess_e = mean_{u ∈ N_e} x_u` (Eq. 10),
+/// 2. `h_e = w_e · Mess_e` with a trainable per-hyperedge scalar (Eq. 11),
+/// 3. `Mess_u = mean_{e ∈ N_u} h_e` (Eq. 12),
+/// 4. `x' = ReLU(Mess · θ)` (Eq. 13).
+///
+/// This is also the `AHNTP_noatt` ablation layer and the core of the HGNN+
+/// baseline.
+#[derive(Clone)]
+pub struct HypergraphConv {
+    ops: HypergraphOps,
+    /// `w_e` of Eq. 11: one trainable scalar per hyperedge, initialised 1.
+    edge_weights: Param,
+    /// `θ` of Eq. 13 applied to the aggregated message.
+    theta: Param,
+    /// Self-term projection: Eq. 13 defines the update as `F(x_u^t, Mess)`,
+    /// i.e. the new state depends on the previous vertex feature as well;
+    /// this carries that dependence (`x' = ReLU(Mess θ + x θ_self)`).
+    theta_self: Param,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl HypergraphConv {
+    /// Creates a layer over the given hypergraph.
+    pub fn new(
+        name: &str,
+        h: &Hypergraph,
+        in_dim: usize,
+        out_dim: usize,
+        seed: u64,
+    ) -> HypergraphConv {
+        let ops = HypergraphOps::new(h);
+        let theta_seed = SplitMix64::derive(seed, &format!("{name}.theta"));
+        let self_seed = SplitMix64::derive(seed, &format!("{name}.theta_self"));
+        HypergraphConv {
+            edge_weights: Param::new(
+                format!("{name}.edge_w"),
+                Tensor::full(h.n_edges(), 1, 1.0),
+            ),
+            theta: Param::new(
+                format!("{name}.theta"),
+                xavier_uniform(in_dim, out_dim, theta_seed),
+            ),
+            theta_self: Param::new(
+                format!("{name}.theta_self"),
+                xavier_uniform(in_dim, out_dim, self_seed),
+            ),
+            ops,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass over vertex features `x` (`n × in_dim`).
+    pub fn forward(&self, s: &Session, x: &Var) -> Var {
+        let g = s.graph();
+        // Eq. 10: hyperedge messages by mean aggregation.
+        let mess_e = g.spmm(&self.ops.v2e, x);
+        // Eq. 11: trainable per-edge scaling, broadcast over columns via
+        // (m × 1) @ (1 × d) — a rank-1 expansion of the weight column.
+        let w_col = s.var(&self.edge_weights);
+        let ones = s.constant(Tensor::full(1, self.in_dim, 1.0));
+        let h_e = mess_e.mul(&w_col.matmul(&ones));
+        // Eq. 12: vertex messages by mean over incident hyperedges.
+        let mess_v = g.spmm(&self.ops.e2v, &h_e);
+        // Eq. 13: F(x_u^t, Mess) — message transform plus the self-term.
+        let msg = mess_v.matmul(&s.var(&self.theta));
+        let own = x.matmul(&s.var(&self.theta_self));
+        msg.add(&own).relu()
+    }
+}
+
+impl Module for HypergraphConv {
+    fn params(&self) -> Vec<Param> {
+        vec![
+            self.edge_weights.clone(),
+            self.theta.clone(),
+            self.theta_self.clone(),
+        ]
+    }
+}
+
+/// The adaptive hypergraph convolution (Eqs. 14–16).
+///
+/// On top of [`HypergraphConv`]'s two-step aggregation, the layer computes a
+/// per-incidence attention coefficient
+/// `a_ie = LeakyReLU(βᵀ [W x'_i ‖ W h̃_e])` (Eq. 14), normalises it over
+/// each vertex's incident hyperedges (Eq. 15), and re-aggregates the
+/// projected hyperedge features with those weights (Eq. 16):
+/// `x''_i = ReLU(Σ_{e ∈ N_i} w_ie · W h̃_e)`.
+///
+/// `W` is a shared `out_dim × out_dim` projection applied to both the
+/// updated vertex feature `x'_i` (already `out_dim` wide after Eq. 13) and
+/// the θ-projected hyperedge feature `h̃_e = h_e θ`, which resolves the
+/// dimension mismatch left implicit in the paper (Eq. 14 concatenates a
+/// layer-`t+1` vertex with a layer-`t` hyperedge).
+#[derive(Clone)]
+pub struct AdaptiveHypergraphConv {
+    base: HypergraphConv,
+    /// Shared projection `W` of Eq. 14.
+    w_att: Param,
+    /// Attention vector `β` of Eq. 14 (length `2 · out_dim`).
+    beta: Param,
+}
+
+impl AdaptiveHypergraphConv {
+    /// Creates an adaptive layer over the given hypergraph.
+    pub fn new(
+        name: &str,
+        h: &Hypergraph,
+        in_dim: usize,
+        out_dim: usize,
+        seed: u64,
+    ) -> AdaptiveHypergraphConv {
+        let base = HypergraphConv::new(name, h, in_dim, out_dim, seed);
+        let w_seed = SplitMix64::derive(seed, &format!("{name}.w_att"));
+        let b_seed = SplitMix64::derive(seed, &format!("{name}.beta"));
+        AdaptiveHypergraphConv {
+            base,
+            w_att: Param::new(
+                format!("{name}.w_att"),
+                xavier_uniform(out_dim, out_dim, w_seed),
+            ),
+            beta: Param::new(
+                format!("{name}.beta"),
+                xavier_uniform(2 * out_dim, 1, b_seed),
+            ),
+        }
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.base.in_dim
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.base.out_dim
+    }
+
+    /// Forward pass over vertex features `x` (`n × in_dim`).
+    pub fn forward(&self, s: &Session, x: &Var) -> Var {
+        let g = s.graph();
+        let ops = &self.base.ops;
+        // Eqs. 10–11 as in the base layer.
+        let mess_e = g.spmm(&ops.v2e, x);
+        let w_col = s.var(&self.base.edge_weights);
+        let ones = s.constant(Tensor::full(1, self.base.in_dim, 1.0));
+        let h_e = mess_e.mul(&w_col.matmul(&ones));
+        // Eqs. 12–13: provisional vertex update x' with the F(x^t, ·)
+        // self-term.
+        let theta = s.var(&self.base.theta);
+        let theta_self = s.var(&self.base.theta_self);
+        let x_next = g
+            .spmm(&ops.e2v, &h_e)
+            .matmul(&theta)
+            .add(&x.matmul(&theta_self))
+            .relu();
+        // Project both sides with the shared W (h̃_e = h_e θ first).
+        let w = s.var(&self.w_att);
+        let h_proj = h_e.matmul(&theta).matmul(&w); // m × out
+        let x_proj = x_next.matmul(&w); // n × out
+        // Eq. 14: per-incidence attention scores.
+        let xi = x_proj.gather_rows(&ops.pair_vertices); // nnz × out
+        let he = h_proj.gather_rows(&ops.pair_edges); // nnz × out
+        let cat = g.concat_cols(&[&xi, &he]); // nnz × 2·out
+        let beta = s.var(&self.beta);
+        let scores = cat
+            .matmul(&beta)
+            .reshape(ahntp_tensor::Shape::Vector(ops.pairs.len()))
+            .leaky_relu(ATTENTION_SLOPE);
+        // Eq. 15: softmax per central vertex.
+        let att = scores.segment_softmax(&ops.segments);
+        // Eq. 16: attention-weighted aggregation of projected hyperedges,
+        // plus the x' self-term carried over from Eq. 13's F(x^t, ·).
+        g.weighted_gather(&ops.pairs, ops.n_vertices, &att, &h_proj)
+            .add(&x_proj)
+            .relu()
+    }
+
+    /// The attention coefficients `w_ie` (Eq. 15) for inspection: a vector
+    /// aligned with [`Hypergraph::incidence_pairs`]. Runs a fresh forward
+    /// pass on its own session.
+    pub fn attention_coefficients(&self, x: &Tensor) -> Vec<f32> {
+        let s = Session::new();
+        let g = s.graph();
+        let ops = &self.base.ops;
+        let xv = s.constant(x.clone());
+        let mess_e = g.spmm(&ops.v2e, &xv);
+        let w_col = s.var(&self.base.edge_weights);
+        let ones = s.constant(Tensor::full(1, self.base.in_dim, 1.0));
+        let h_e = mess_e.mul(&w_col.matmul(&ones));
+        let theta = s.var(&self.base.theta);
+        let theta_self = s.var(&self.base.theta_self);
+        let x_next = g
+            .spmm(&ops.e2v, &h_e)
+            .matmul(&theta)
+            .add(&xv.matmul(&theta_self))
+            .relu();
+        let w = s.var(&self.w_att);
+        let h_proj = h_e.matmul(&theta).matmul(&w);
+        let x_proj = x_next.matmul(&w);
+        let xi = x_proj.gather_rows(&ops.pair_vertices);
+        let he = h_proj.gather_rows(&ops.pair_edges);
+        let cat = g.concat_cols(&[&xi, &he]);
+        let beta = s.var(&self.beta);
+        let scores = cat
+            .matmul(&beta)
+            .reshape(ahntp_tensor::Shape::Vector(ops.pairs.len()))
+            .leaky_relu(ATTENTION_SLOPE);
+        scores.segment_softmax(&ops.segments).value().into_vec()
+    }
+
+    /// The incidence pairs the attention coefficients refer to.
+    pub fn incidence_pairs(&self) -> &[(usize, usize)] {
+        &self.base.ops.pairs
+    }
+}
+
+impl Module for AdaptiveHypergraphConv {
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.base.params();
+        p.push(self.w_att.clone());
+        p.push(self.beta.clone());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahntp_tensor::Shape;
+
+    fn toy_hypergraph() -> Hypergraph {
+        let mut h = Hypergraph::new(4);
+        h.add_edge(&[0, 1, 2]).expect("valid");
+        h.add_edge(&[2, 3]).expect("valid");
+        h.add_edge(&[0, 3]).expect("valid");
+        h
+    }
+
+    #[test]
+    fn plain_conv_shapes_and_nonnegativity() {
+        let h = toy_hypergraph();
+        let conv = HypergraphConv::new("c", &h, 3, 2, 7);
+        let s = Session::new();
+        let x = s.constant(xavier_uniform(4, 3, 1));
+        let y = conv.forward(&s, &x);
+        assert_eq!(y.value().shape(), Shape::Matrix(4, 2));
+        assert!(y.value().as_slice().iter().all(|&v| v >= 0.0));
+        assert_eq!(conv.params().len(), 3);
+        assert_eq!(conv.numel(), 3 + 3 * 2 + 3 * 2);
+    }
+
+    #[test]
+    fn plain_conv_propagates_through_hyperedges() {
+        // One hyperedge {0, 1}; vertex 2 isolated with zero features.
+        let mut h = Hypergraph::new(3);
+        h.add_edge(&[0, 1]).expect("valid");
+        let conv = HypergraphConv::new("c", &h, 1, 1, 3);
+        let s = Session::new();
+        // Identical features for the co-members → identical outputs by
+        // symmetry (shared message and shared self-term).
+        let x = s.constant(Tensor::from_rows(&[&[1.0], &[1.0], &[0.0]]));
+        let y = conv.forward(&s, &x).value();
+        // Vertex 2 has no incident hyperedge and zero features → zero.
+        assert_eq!(y.get(2, 0), 0.0);
+        assert_eq!(y.get(0, 0), y.get(1, 0));
+        // The self-term distinguishes members with different features.
+        let x2 = s.constant(Tensor::from_rows(&[&[1.0], &[-1.0], &[0.0]]));
+        let y2 = conv.forward(&s, &x2).value();
+        assert_ne!(y2.get(0, 0), y2.get(1, 0));
+    }
+
+    #[test]
+    fn adaptive_conv_shapes() {
+        let h = toy_hypergraph();
+        let conv = AdaptiveHypergraphConv::new("a", &h, 3, 2, 11);
+        let s = Session::new();
+        let x = s.constant(xavier_uniform(4, 3, 2));
+        let y = conv.forward(&s, &x);
+        assert_eq!(y.value().shape(), Shape::Matrix(4, 2));
+        assert_eq!(conv.params().len(), 5);
+    }
+
+    #[test]
+    fn adaptive_conv_attention_is_a_distribution_per_vertex() {
+        let h = toy_hypergraph();
+        let conv = AdaptiveHypergraphConv::new("a", &h, 3, 2, 13);
+        let x = xavier_uniform(4, 3, 5);
+        let att = conv.attention_coefficients(&x);
+        let pairs = conv.incidence_pairs();
+        assert_eq!(att.len(), pairs.len());
+        let mut per_vertex = [0.0f32; 4];
+        for (k, &(v, _)) in pairs.iter().enumerate() {
+            assert!(att[k] >= 0.0);
+            per_vertex[v] += att[k];
+        }
+        for (v, &sum) in per_vertex.iter().enumerate() {
+            assert!(
+                (sum - 1.0).abs() < 1e-5,
+                "vertex {v}: attention sums to {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_conv_trains_end_to_end() {
+        let h = toy_hypergraph();
+        let conv = AdaptiveHypergraphConv::new("a", &h, 3, 2, 17);
+        let x = xavier_uniform(4, 3, 9);
+        let loss_value = |conv: &AdaptiveHypergraphConv| -> f32 {
+            let s = Session::new();
+            let xv = s.constant(x.clone());
+            let y = conv.forward(&s, &xv);
+            y.mul(&y).sum().value().as_slice()[0]
+        };
+        let before = loss_value(&conv);
+        // One descent step on sum of squares must reduce it.
+        let s = Session::new();
+        let xv = s.constant(x.clone());
+        let y = conv.forward(&s, &xv);
+        let loss = y.mul(&y).sum();
+        loss.backward();
+        s.harvest();
+        let mut updated = 0;
+        for p in conv.params() {
+            if let Some(g) = p.grad() {
+                p.axpy(-0.05, &g);
+                updated += 1;
+            }
+        }
+        assert!(updated >= 3, "most parameters receive gradients");
+        assert!(loss_value(&conv) < before);
+    }
+}

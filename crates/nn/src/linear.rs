@@ -1,0 +1,219 @@
+//! Dense layers: [`Linear`] and the ReLU [`Mlp`] towers of Eqs. 17–18.
+
+use crate::{Module, Param, Session};
+use ahntp_autograd::Var;
+use ahntp_tensor::{he_normal, xavier_uniform, SplitMix64, Tensor};
+
+/// A fully-connected layer `y = x W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Param,
+    b: Option<Param>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new(name: &str, in_dim: usize, out_dim: usize, seed: u64) -> Linear {
+        let w_seed = SplitMix64::derive(seed, &format!("{name}.w"));
+        Linear {
+            w: Param::new(format!("{name}.w"), xavier_uniform(in_dim, out_dim, w_seed)),
+            b: Some(Param::new(format!("{name}.b"), Tensor::zeros_vec(out_dim))),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Creates a bias-free layer with He-normal weights — the right init
+    /// for layers feeding ReLU stacks.
+    pub fn new_he_no_bias(name: &str, in_dim: usize, out_dim: usize, seed: u64) -> Linear {
+        let w_seed = SplitMix64::derive(seed, &format!("{name}.w"));
+        Linear {
+            w: Param::new(format!("{name}.w"), he_normal(in_dim, out_dim, w_seed)),
+            b: None,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass: `x @ W (+ b)`.
+    pub fn forward(&self, s: &Session, x: &Var) -> Var {
+        let w = s.var(&self.w);
+        let y = x.matmul(&w);
+        match &self.b {
+            Some(b) => y.add_bias(&s.var(b)),
+            None => y,
+        }
+    }
+}
+
+impl Module for Linear {
+    fn params(&self) -> Vec<Param> {
+        let mut p = vec![self.w.clone()];
+        if let Some(b) = &self.b {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+/// A multilayer perceptron with ReLU between layers — the feature extractor
+/// applied to each hypergroup before convolution (§IV-B) and the pairwise
+/// towers of Eqs. 17–18.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    /// Apply ReLU after the final layer too (Eqs. 17–18 wrap every layer
+    /// in `f() = ReLU`); heads that need raw logits set this to false.
+    relu_output: bool,
+}
+
+impl Mlp {
+    /// Builds an MLP through the given widths, e.g. `&[256, 128, 64]` for
+    /// the paper's default tower. `dims.len() >= 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(name: &str, dims: &[usize], relu_output: bool, seed: u64) -> Mlp {
+        assert!(
+            dims.len() >= 2,
+            "Mlp::new: need at least input and output widths, got {dims:?}"
+        );
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(&format!("{name}.{i}"), w[0], w[1], seed))
+            .collect();
+        Mlp {
+            layers,
+            relu_output,
+        }
+    }
+
+    /// Forward pass with ReLU between (and optionally after) layers.
+    pub fn forward(&self, s: &Session, x: &Var) -> Var {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(s, &h);
+            if i < last || self.relu_output {
+                h = h.relu();
+            }
+        }
+        h
+    }
+
+    /// Output width of the tower.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("at least one layer").out_dim()
+    }
+}
+
+impl Module for Mlp {
+    fn params(&self) -> Vec<Param> {
+        self.layers.iter().flat_map(Module::params).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahntp_autograd::check_gradients;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let s = Session::new();
+        let l = Linear::new("l", 3, 4, 7);
+        let x = s.constant(Tensor::full(2, 3, 1.0));
+        let y = l.forward(&s, &x);
+        assert_eq!(y.value().shape(), ahntp_tensor::Shape::Matrix(2, 4));
+        assert_eq!(l.params().len(), 2);
+        assert_eq!(l.numel(), 3 * 4 + 4);
+    }
+
+    #[test]
+    fn linear_is_deterministic_per_seed() {
+        let a = Linear::new("l", 3, 2, 1);
+        let b = Linear::new("l", 3, 2, 1);
+        let c = Linear::new("l", 3, 2, 2);
+        assert_eq!(a.params()[0].value(), b.params()[0].value());
+        assert_ne!(a.params()[0].value(), c.params()[0].value());
+    }
+
+    #[test]
+    fn mlp_tower_shapes() {
+        let s = Session::new();
+        let mlp = Mlp::new("tower", &[8, 4, 2], true, 3);
+        let x = s.constant(xavier_uniform(5, 8, 11));
+        let y = mlp.forward(&s, &x);
+        assert_eq!(y.value().shape(), ahntp_tensor::Shape::Matrix(5, 2));
+        // ReLU output ⇒ non-negative.
+        assert!(y.value().as_slice().iter().all(|&v| v >= 0.0));
+        assert_eq!(mlp.params().len(), 4);
+        assert_eq!(mlp.out_dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output widths")]
+    fn mlp_rejects_single_width() {
+        Mlp::new("bad", &[8], true, 0);
+    }
+
+    #[test]
+    fn linear_gradients_check_against_finite_differences() {
+        let l = Linear::new("l", 3, 2, 5);
+        let w0 = l.params()[0].value();
+        let b0 = l.params()[1].value();
+        let x = xavier_uniform(4, 3, 21);
+        check_gradients(
+            &[x, w0, b0],
+            |_, v| {
+                // Re-express the layer manually on the check's leaves.
+                let y = v[0].matmul(&v[1]).add_bias(&v[2]).relu();
+                y.mul(&y).sum()
+            },
+            1e-2,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn training_via_session_reduces_loss() {
+        // One gradient step on a tiny regression must reduce the loss.
+        let l = Linear::new("l", 2, 1, 9);
+        let x = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let target = Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let loss_at = |l: &Linear| -> f32 {
+            let s = Session::new();
+            let xv = s.constant(x.clone());
+            let t = s.constant(target.clone());
+            let err = l.forward(&s, &xv).sub(&t);
+            err.mul(&err).mean().value().as_slice()[0]
+        };
+        let before = loss_at(&l);
+        let s = Session::new();
+        let xv = s.constant(x.clone());
+        let t = s.constant(target.clone());
+        let err = l.forward(&s, &xv).sub(&t);
+        let loss = err.mul(&err).mean();
+        loss.backward();
+        s.harvest();
+        for p in l.params() {
+            let g = p.grad().expect("participates in loss");
+            p.axpy(-0.1, &g);
+        }
+        assert!(loss_at(&l) < before, "one SGD step must reduce the loss");
+    }
+}

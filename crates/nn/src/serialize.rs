@@ -1,0 +1,251 @@
+//! Saving and loading trained parameters.
+//!
+//! A checkpoint is a flat, self-describing binary frame:
+//!
+//! ```text
+//! magic "AHNTP001" (8 bytes)
+//! u32 param count
+//! per parameter:
+//!   u32 name length, name bytes (UTF-8)
+//!   u8  rank (1 or 2), u32 rows, u32 cols
+//!   f32 data (little-endian, row-major)
+//! ```
+//!
+//! Loading is *by name into an existing module*: build the model with the
+//! same architecture, then [`load_params`] copies matching tensors in.
+//! This mirrors PyTorch's `state_dict` flow and keeps the checkpoint
+//! format independent of any model structure.
+
+use crate::Param;
+use ahntp_tensor::{Shape, Tensor};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 8] = b"AHNTP001";
+
+/// Errors from checkpoint decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Not an AHNTP checkpoint (bad magic) or truncated frame.
+    Malformed(String),
+    /// The checkpoint holds a tensor whose shape disagrees with the
+    /// same-named parameter in the target module.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape in the module.
+        expected: String,
+        /// Shape in the checkpoint.
+        found: String,
+    },
+    /// A parameter of the target module is missing from the checkpoint.
+    Missing(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shape mismatch for {name}: module has {expected}, checkpoint has {found}"
+            ),
+            CheckpointError::Missing(name) => {
+                write!(f, "checkpoint is missing parameter {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialises parameters into a checkpoint frame.
+pub fn save_params(params: &[Param]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(params.len() as u32);
+    for p in params {
+        let name = p.name();
+        let value = p.value();
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        match value.shape() {
+            Shape::Vector(n) => {
+                buf.put_u8(1);
+                buf.put_u32_le(n as u32);
+                buf.put_u32_le(0);
+            }
+            Shape::Matrix(r, c) => {
+                buf.put_u8(2);
+                buf.put_u32_le(r as u32);
+                buf.put_u32_le(c as u32);
+            }
+        }
+        for &v in value.as_slice() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+fn decode(mut data: &[u8]) -> Result<Vec<(String, Tensor)>, CheckpointError> {
+    let need = |data: &[u8], n: usize, what: &str| -> Result<(), CheckpointError> {
+        if data.len() < n {
+            Err(CheckpointError::Malformed(format!(
+                "truncated while reading {what}"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    need(data, 8, "magic")?;
+    if &data[..8] != MAGIC {
+        return Err(CheckpointError::Malformed("bad magic".into()));
+    }
+    data.advance(8);
+    need(data, 4, "count")?;
+    let count = data.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        need(data, 4, "name length")?;
+        let name_len = data.get_u32_le() as usize;
+        need(data, name_len, "name")?;
+        let name = String::from_utf8(data[..name_len].to_vec())
+            .map_err(|_| CheckpointError::Malformed(format!("param {i}: non-UTF-8 name")))?;
+        data.advance(name_len);
+        need(data, 9, "shape")?;
+        let rank = data.get_u8();
+        let rows = data.get_u32_le() as usize;
+        let cols = data.get_u32_le() as usize;
+        let volume = match rank {
+            1 => rows,
+            2 => rows * cols,
+            r => {
+                return Err(CheckpointError::Malformed(format!(
+                    "param {name}: unsupported rank {r}"
+                )))
+            }
+        };
+        need(data, volume * 4, "tensor data")?;
+        let mut values = Vec::with_capacity(volume);
+        for _ in 0..volume {
+            values.push(data.get_f32_le());
+        }
+        let tensor = if rank == 1 {
+            Tensor::vector(values)
+        } else {
+            Tensor::from_vec(rows, cols, values)
+                .map_err(|e| CheckpointError::Malformed(format!("param {name}: {e}")))?
+        };
+        out.push((name, tensor));
+    }
+    Ok(out)
+}
+
+/// Loads a checkpoint into an existing parameter set, matching by name.
+/// Extra tensors in the checkpoint are ignored; every module parameter
+/// must be present with the right shape.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on malformed frames, missing parameters or
+/// shape mismatches (in which case some parameters may already have been
+/// updated — reload or rebuild on error).
+pub fn load_params(params: &[Param], checkpoint: &[u8]) -> Result<(), CheckpointError> {
+    let entries = decode(checkpoint)?;
+    for p in params {
+        let name = p.name();
+        let entry = entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .ok_or_else(|| CheckpointError::Missing(name.clone()))?;
+        let current = p.value();
+        if current.shape() != entry.1.shape() {
+            return Err(CheckpointError::ShapeMismatch {
+                name,
+                expected: current.shape().to_string(),
+                found: entry.1.shape().to_string(),
+            });
+        }
+        p.set_value(entry.1.clone());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Mlp, Module, Session};
+    use ahntp_tensor::xavier_uniform;
+
+    #[test]
+    fn roundtrip_preserves_values_and_names() {
+        let mlp = Mlp::new("tower", &[4, 3, 2], true, 7);
+        let blob = save_params(&mlp.params());
+        // A freshly initialised clone with a different seed differs…
+        let other = Mlp::new("tower", &[4, 3, 2], true, 8);
+        let before: Vec<_> = other.params().iter().map(Param::value).collect();
+        load_params(&other.params(), &blob).expect("matching architecture");
+        let after: Vec<_> = other.params().iter().map(Param::value).collect();
+        assert_ne!(before, after, "load must change the weights");
+        let expected: Vec<_> = mlp.params().iter().map(Param::value).collect();
+        assert_eq!(after, expected, "…and match the saved model exactly");
+    }
+
+    #[test]
+    fn loaded_model_predicts_identically() {
+        let a = Linear::new("l", 3, 2, 1);
+        let b = Linear::new("l", 3, 2, 99);
+        load_params(&b.params(), &save_params(&a.params())).expect("same shape");
+        let x = xavier_uniform(4, 3, 5);
+        let s1 = Session::new();
+        let y1 = a.forward(&s1, &s1.constant(x.clone())).value();
+        let s2 = Session::new();
+        let y2 = b.forward(&s2, &s2.constant(x)).value();
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported_by_name() {
+        let a = Linear::new("l", 3, 2, 1);
+        let b = Linear::new("l", 3, 4, 1);
+        let err = load_params(&b.params(), &save_params(&a.params())).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }));
+        assert!(err.to_string().contains("l.w"));
+    }
+
+    #[test]
+    fn missing_parameter_is_reported() {
+        let a = Linear::new("alpha", 2, 2, 1);
+        let b = Linear::new("beta", 2, 2, 1);
+        let err = load_params(&b.params(), &save_params(&a.params())).unwrap_err();
+        assert!(matches!(err, CheckpointError::Missing(_)));
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        let a = Linear::new("l", 2, 2, 1);
+        assert!(matches!(
+            load_params(&a.params(), b"not a checkpoint"),
+            Err(CheckpointError::Malformed(_))
+        ));
+        let mut blob = save_params(&a.params()).to_vec();
+        blob.truncate(blob.len() - 3);
+        assert!(matches!(
+            load_params(&a.params(), &blob),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn vector_parameters_roundtrip() {
+        let p = Param::new("bias", ahntp_tensor::Tensor::vector(vec![1.0, -2.5, 3.25]));
+        let blob = save_params(std::slice::from_ref(&p));
+        let q = Param::new("bias", ahntp_tensor::Tensor::zeros_vec(3));
+        load_params(std::slice::from_ref(&q), &blob).expect("same shape");
+        assert_eq!(q.value().as_slice(), &[1.0, -2.5, 3.25]);
+    }
+}

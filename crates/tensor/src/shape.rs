@@ -1,0 +1,100 @@
+//! Tensor shapes (rank 1 and rank 2).
+
+/// The shape of a [`crate::Tensor`]: either a vector of length `n` or a
+/// row-major `rows x cols` matrix.
+///
+/// Rank-1 and rank-2 shapes are kept distinct (rather than normalising
+/// vectors to `1 x n`) because the paper's equations mix genuine vectors
+/// (PageRank scores, attention coefficients) with matrices (feature and
+/// weight matrices), and silent rank coercion is a classic source of
+/// broadcasting bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// A rank-1 tensor with `n` elements.
+    Vector(usize),
+    /// A rank-2, row-major tensor with `rows * cols` elements.
+    Matrix(usize, usize),
+}
+
+impl Shape {
+    /// Total number of elements.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        match *self {
+            Shape::Vector(n) => n,
+            Shape::Matrix(r, c) => r * c,
+        }
+    }
+
+    /// Number of rows: `1` for vectors (treated as a single row when a
+    /// matrix view is required).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        match *self {
+            Shape::Vector(_) => 1,
+            Shape::Matrix(r, _) => r,
+        }
+    }
+
+    /// Number of columns: the length for vectors.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        match *self {
+            Shape::Vector(n) => n,
+            Shape::Matrix(_, c) => c,
+        }
+    }
+
+    /// Whether this is a rank-1 shape.
+    #[inline]
+    pub fn is_vector(&self) -> bool {
+        matches!(self, Shape::Vector(_))
+    }
+
+    /// The transposed shape. Transposing a vector is an error at a higher
+    /// level; here it is the identity, mirroring the mathematical convention
+    /// that a vector has no orientation until lifted to a matrix.
+    #[inline]
+    pub fn transposed(&self) -> Shape {
+        match *self {
+            Shape::Vector(n) => Shape::Vector(n),
+            Shape::Matrix(r, c) => Shape::Matrix(c, r),
+        }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Shape::Vector(n) => write!(f, "[{n}]"),
+            Shape::Matrix(r, c) => write!(f, "[{r}x{c}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_rows_cols() {
+        assert_eq!(Shape::Vector(7).volume(), 7);
+        assert_eq!(Shape::Matrix(3, 4).volume(), 12);
+        assert_eq!(Shape::Vector(7).rows(), 1);
+        assert_eq!(Shape::Vector(7).cols(), 7);
+        assert_eq!(Shape::Matrix(3, 4).rows(), 3);
+        assert_eq!(Shape::Matrix(3, 4).cols(), 4);
+    }
+
+    #[test]
+    fn transpose_swaps_matrix_dims() {
+        assert_eq!(Shape::Matrix(3, 4).transposed(), Shape::Matrix(4, 3));
+        assert_eq!(Shape::Vector(3).transposed(), Shape::Vector(3));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Shape::Matrix(2, 5).to_string(), "[2x5]");
+        assert_eq!(Shape::Vector(9).to_string(), "[9]");
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: generate a Ciao-like social network, train AHNTP, and
+//! predict trust for a few unseen user pairs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ahntp::{Ahntp, AhntpConfig};
+use ahntp_data::{DatasetConfig, TrustDataset};
+use ahntp_eval::{train_and_evaluate, TrainConfig, TrustModel};
+
+fn main() {
+    // 1. A synthetic product-review community, calibrated to the Ciao
+    //    statistics of the paper (Table III), at laptop scale.
+    let dataset = TrustDataset::generate(&DatasetConfig::ciao_like(250, 7));
+    println!("dataset: {}", dataset.stats());
+
+    // 2. An 80/20 split with two sampled negatives per trust relation
+    //    (§V-A-4). The hypergraph is built from training edges only.
+    let split = dataset.split(0.8, 0.2, 2, 42);
+    println!(
+        "split: {} train pairs, {} test pairs",
+        split.train.len(),
+        split.test.len()
+    );
+
+    // 3. The full AHNTP model with a fast architecture. Swap in
+    //    `AhntpConfig::default()` for the paper's 256-128-64 stack.
+    let config = AhntpConfig::small();
+    let mut model = Ahntp::new(
+        &dataset.features,
+        &dataset.attributes,
+        &split.train_graph,
+        &config,
+    );
+    println!(
+        "model: {} with {} trainable parameters",
+        model.name(),
+        model.n_parameters()
+    );
+
+    // 4. Train and evaluate.
+    let report = train_and_evaluate(
+        &mut model,
+        &split.train,
+        &split.test,
+        &TrainConfig {
+            epochs: 80,
+            ..TrainConfig::default()
+        },
+    );
+    println!(
+        "after {} epochs: train {} | test {}",
+        report.epochs_run, report.train, report.test
+    );
+
+    // 5. Score a few individual pairs — three held-out trust relations and
+    //    three sampled non-relations.
+    println!("\nsample predictions (trustor -> trustee):");
+    let positives = split.test.iter().filter(|p| p.label).take(3);
+    let negatives = split.test.iter().filter(|p| !p.label).take(3);
+    for pair in positives.chain(negatives) {
+        let p = model.predict_pair(pair.trustor, pair.trustee);
+        println!(
+            "  user {:>3} -> user {:>3}: p(trust) = {:.3}   (actual: {})",
+            pair.trustor,
+            pair.trustee,
+            p,
+            if pair.label { "trusts" } else { "no relation" }
+        );
+    }
+}

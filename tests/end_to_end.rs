@@ -1,0 +1,104 @@
+//! End-to-end integration: the full AHNTP pipeline against representative
+//! baselines on one synthetic dataset, asserting the paper's qualitative
+//! ordering at small scale.
+
+use ahntp::{Ahntp, AhntpConfig};
+use ahntp_baselines::{BaselineConfig, Gat, UniGcn};
+use ahntp_data::{DatasetConfig, TrustDataset};
+use ahntp_eval::{train_and_evaluate, EvalReport, TrainConfig, TrustModel};
+
+/// Small-scale learning rate (see EXPERIMENTS.md: full-batch training at
+/// reduced scale converges in ~1/4 of the epochs at 5e-3 versus the
+/// paper's 1e-3).
+const LR: f32 = 5e-3;
+
+fn setup() -> (TrustDataset, ahntp_data::Split, TrainConfig) {
+    let ds = TrustDataset::generate(&DatasetConfig::ciao_like(150, 17));
+    let split = ds.split(0.8, 0.2, 2, 23);
+    let cfg = TrainConfig {
+        epochs: 80,
+        patience: 15,
+        ..TrainConfig::default()
+    };
+    (ds, split, cfg)
+}
+
+fn baseline_cfg() -> BaselineConfig {
+    let mut cfg = BaselineConfig::default();
+    cfg.adam.lr = LR;
+    cfg
+}
+
+fn ahntp_cfg() -> AhntpConfig {
+    let mut cfg = AhntpConfig {
+        conv_dims: vec![32, 16],
+        tower_dims: vec![16],
+        ..AhntpConfig::default()
+    };
+    cfg.adam.lr = LR;
+    cfg
+}
+
+fn train(model: &mut dyn TrustModel, split: &ahntp_data::Split, cfg: &TrainConfig) -> EvalReport {
+    train_and_evaluate(model, &split.train, &split.test, cfg)
+}
+
+#[test]
+fn ahntp_learns_trust_prediction_end_to_end() {
+    let (ds, split, cfg) = setup();
+    let mut model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &ahntp_cfg());
+    let report = train(&mut model, &split, &cfg);
+    assert!(
+        report.test.auc > 0.65,
+        "AHNTP test AUC {:.3} must clearly beat chance",
+        report.test.auc
+    );
+    // Majority class (all-negative) gives accuracy 2/3; the model must
+    // do better than refusing to predict trust.
+    assert!(
+        report.test.f1 > 0.3,
+        "AHNTP must actually predict the positive class, F1 {:.3}",
+        report.test.f1
+    );
+}
+
+#[test]
+fn hypergraph_beats_plain_graph_embedding() {
+    // Observation 2 of §V-B at miniature scale: methods with high-order
+    // correlations (UniGCN) outperform plain pairwise embeddings (GAT).
+    let (ds, split, cfg) = setup();
+    let bcfg = baseline_cfg();
+    let mut gat = Gat::new(&ds.features, &split.train_graph, &bcfg);
+    let mut unigcn = UniGcn::new(&ds.features, &ds.attributes, &split.train_graph, &bcfg);
+    let gat_report = train(&mut gat, &split, &cfg);
+    let uni_report = train(&mut unigcn, &split, &cfg);
+    assert!(
+        uni_report.test.auc + 0.02 > gat_report.test.auc,
+        "UniGCN (AUC {:.3}) should not lose clearly to GAT (AUC {:.3})",
+        uni_report.test.auc,
+        gat_report.test.auc
+    );
+}
+
+#[test]
+fn ahntp_competitive_with_best_baseline() {
+    // Observation 4 of §V-B: AHNTP tops the hypergraph baselines. At this
+    // miniature scale we assert non-inferiority with a small tolerance
+    // (the full-scale comparison is the table4_performance bench).
+    let (ds, split, cfg) = setup();
+    let mut ahntp = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &ahntp_cfg());
+    let mut unigcn = UniGcn::new(
+        &ds.features,
+        &ds.attributes,
+        &split.train_graph,
+        &baseline_cfg(),
+    );
+    let a = train(&mut ahntp, &split, &cfg);
+    let u = train(&mut unigcn, &split, &cfg);
+    assert!(
+        a.test.auc + 0.05 > u.test.auc,
+        "AHNTP (AUC {:.3}) must be at least competitive with UniGCN (AUC {:.3})",
+        a.test.auc,
+        u.test.auc
+    );
+}
