@@ -58,6 +58,41 @@ pub(crate) enum Op {
     },
 }
 
+/// Stable human-readable name for an op, used by telemetry counters and
+/// divergence provenance ("first non-finite output from op `matmul`").
+pub(crate) fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Leaf => "leaf",
+        Op::Add(..) => "add",
+        Op::Sub(..) => "sub",
+        Op::Mul(..) => "mul",
+        Op::Div(..) => "div",
+        Op::Scale(..) => "scale",
+        Op::AddScalar(..) => "add_scalar",
+        Op::Matmul(..) => "matmul",
+        Op::MatmulT(..) => "matmul_t",
+        Op::Transpose(..) => "transpose",
+        Op::Spmm(..) => "spmm",
+        Op::Relu(..) => "relu",
+        Op::LeakyRelu(..) => "leaky_relu",
+        Op::Sigmoid(..) => "sigmoid",
+        Op::Tanh(..) => "tanh",
+        Op::Exp(..) => "exp",
+        Op::LnEps(..) => "ln_eps",
+        Op::AddBias(..) => "add_bias",
+        Op::ConcatCols(..) => "concat_cols",
+        Op::GatherRows(..) => "gather_rows",
+        Op::ScaleRowsConst(..) => "scale_rows_const",
+        Op::Sum(..) => "sum",
+        Op::Mean(..) => "mean",
+        Op::PairwiseCosine(..) => "pairwise_cosine",
+        Op::SegmentSoftmax(..) => "segment_softmax",
+        Op::SegmentSum(..) => "segment_sum",
+        Op::Reshape(..) => "reshape",
+        Op::WeightedGather { .. } => "weighted_gather",
+    }
+}
+
 pub(crate) struct Node {
     pub value: Tensor,
     pub grad: Option<Tensor>,
@@ -97,6 +132,16 @@ impl Graph {
     }
 
     pub(crate) fn push(&self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        // Divergence provenance: under AHNTP_CHECK_FINITE (or
+        // set_finite_checks), remember the *first* op whose output went
+        // non-finite so the trainer's "diverged" panic can name it. The
+        // scan is opt-in because it touches every output element.
+        if ahntp_telemetry::finite_checks_enabled()
+            && !matches!(op, Op::Leaf)
+            && value.as_slice().iter().any(|v| !v.is_finite())
+        {
+            ahntp_telemetry::record_nonfinite(op_name(&op), self.nodes.borrow().len());
+        }
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node {
             value,
@@ -241,7 +286,10 @@ impl Var {
     ///
     /// Panics if the node is not a single-element tensor.
     pub fn backward(&self) {
+        let _span = ahntp_telemetry::span!("backward");
+        ahntp_telemetry::counter_add("autograd.backward.calls", 1);
         let mut nodes = self.graph.nodes.borrow_mut();
+        ahntp_telemetry::counter_add("autograd.backward.nodes", nodes.len() as u64);
         {
             let out = &mut nodes[self.id];
             assert_eq!(
@@ -599,6 +647,32 @@ mod tests {
         let a = g1.leaf(Tensor::zeros(1, 1));
         let b = g2.leaf(Tensor::zeros(1, 1));
         let _ = a.add(&b);
+    }
+
+    #[test]
+    fn finite_checks_name_the_offending_op() {
+        // Thread-local state: each #[test] runs on its own thread, so this
+        // cannot race with other tests.
+        ahntp_telemetry::set_finite_checks(true);
+        ahntp_telemetry::clear_nonfinite();
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[100.0]]));
+        let _y = x.exp(); // e^100 overflows f32 → inf
+        let ev = ahntp_telemetry::first_nonfinite().expect("overflow recorded");
+        assert_eq!(ev.op, "exp");
+        assert_eq!(ev.step, 1); // node 0 is the leaf
+        ahntp_telemetry::set_finite_checks(false);
+        ahntp_telemetry::clear_nonfinite();
+    }
+
+    #[test]
+    fn finite_checks_off_record_nothing() {
+        ahntp_telemetry::set_finite_checks(false);
+        ahntp_telemetry::clear_nonfinite();
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[&[100.0]]));
+        let _y = x.exp();
+        assert!(ahntp_telemetry::first_nonfinite().is_none());
     }
 
     #[test]

@@ -50,26 +50,22 @@ pub struct Scale {
     pub lr: f32,
 }
 
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 impl Scale {
     /// Reads the scale from the environment.
+    ///
+    /// Malformed values fall back to the defaults *with a warning* through
+    /// the telemetry logger (`ahntp_telemetry::env_parse`), so a typo'd
+    /// `AHNTP_EPOCHS=8O` shows up in stderr instead of silently running
+    /// the default scale.
     pub fn from_env() -> Scale {
+        use ahntp_telemetry::env_parse;
         Scale {
-            users_ciao: env_usize("AHNTP_USERS_CIAO", 220),
-            users_epinions: env_usize("AHNTP_USERS_EPINIONS", 260),
-            epochs: env_usize("AHNTP_EPOCHS", 80),
-            full: env_usize("AHNTP_FULL", 0) != 0,
-            seed: env_usize("AHNTP_SEED", 2024) as u64,
-            lr: std::env::var("AHNTP_LR")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(5e-3),
+            users_ciao: env_parse("AHNTP_USERS_CIAO", 220),
+            users_epinions: env_parse("AHNTP_USERS_EPINIONS", 260),
+            epochs: env_parse("AHNTP_EPOCHS", 80),
+            full: env_parse("AHNTP_FULL", 0usize) != 0,
+            seed: env_parse("AHNTP_SEED", 2024u64),
+            lr: env_parse("AHNTP_LR", 5e-3f32),
         }
     }
 
@@ -279,6 +275,18 @@ mod tests {
         assert!(s.users_ciao >= 10 && s.users_epinions >= 10);
         assert!(s.epochs > 0);
         assert_eq!(Scale::dims_label(&[64, 32, 16]), "64-32-16");
+    }
+
+    #[test]
+    fn malformed_scale_env_falls_back_to_default() {
+        // Wrong-typed value: warns (via the telemetry logger) and uses the
+        // default instead of silently misparsing. Uses a variable no other
+        // test reads concurrently... AHNTP_USERS_CIAO is only read here and
+        // in scale_env_defaults, whose assertions hold either way.
+        std::env::set_var("AHNTP_USERS_CIAO", "two-hundred");
+        let s = Scale::from_env();
+        assert_eq!(s.users_ciao, 220);
+        std::env::remove_var("AHNTP_USERS_CIAO");
     }
 
     #[test]

@@ -10,4 +10,7 @@ mod metrics;
 mod trainer;
 
 pub use metrics::{auc, binary_metrics, Metrics};
-pub use trainer::{train_and_evaluate, EvalReport, TrainConfig, TrustModel};
+pub use trainer::{
+    train_and_evaluate, train_and_evaluate_observed, EpochStats, EvalReport, LedgerObserver,
+    NoopObserver, TrainConfig, TrainObserver, TrustModel,
+};

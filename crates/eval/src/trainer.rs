@@ -1,7 +1,11 @@
 //! The model interface and the shared training/evaluation loop.
 
+use std::time::Instant;
+
 use crate::{binary_metrics, Metrics};
 use ahntp_data::LabeledPair;
+use ahntp_telemetry::json::Json;
+use ahntp_telemetry::RunLedger;
 
 /// A trust-prediction model: anything that can fit labelled user pairs and
 /// score new ones. AHNTP, its ablation variants and all eight baselines
@@ -59,42 +63,234 @@ pub struct EvalReport {
     pub train: Metrics,
     /// Final epoch training loss.
     pub final_loss: f32,
+    /// Lowest training loss seen across all epochs.
+    pub best_loss: f32,
+    /// Training loss of every epoch actually run, in order.
+    pub epoch_losses: Vec<f32>,
     /// Epochs actually run (≤ `TrainConfig::epochs` with early stopping).
     pub epochs_run: usize,
 }
 
+/// Per-epoch measurements handed to [`TrainObserver::on_epoch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Training loss of this epoch.
+    pub loss: f32,
+    /// Wall time the epoch took, in microseconds.
+    pub wall_us: u64,
+    /// Global gradient L2 norm of the epoch's last optimizer step, when the
+    /// model's optimizer published one (`train.grad_norm` gauge). `None`
+    /// for models that don't run a gradient optimizer.
+    pub grad_norm: Option<f64>,
+}
+
+/// Observer hooks for the training loop. All methods default to no-ops, so
+/// implementors override only what they need and existing call sites are
+/// unaffected.
+pub trait TrainObserver {
+    /// Called once before the first epoch.
+    fn on_start(&mut self, _model: &str, _cfg: &TrainConfig) {}
+    /// Called after every completed epoch, in epoch order.
+    fn on_epoch(&mut self, _stats: &EpochStats) {}
+    /// Called once after evaluation, with the final report.
+    fn on_finish(&mut self, _report: &EvalReport) {}
+}
+
+/// The default observer: does nothing.
+pub struct NoopObserver;
+
+impl TrainObserver for NoopObserver {}
+
+/// An observer that serializes the run to a JSONL [`RunLedger`].
+///
+/// Records `run_start` (model + config), one `epoch` record per epoch, and
+/// `run_end` with the final metrics plus a metrics-registry snapshot. Used
+/// automatically by [`train_and_evaluate`] when `AHNTP_TELEMETRY=1`.
+pub struct LedgerObserver {
+    dir: Option<std::path::PathBuf>,
+    ledger: Option<RunLedger>,
+}
+
+impl LedgerObserver {
+    /// Writes to the default ledger directory (`target/telemetry` or
+    /// `AHNTP_TELEMETRY_DIR`).
+    pub fn new() -> LedgerObserver {
+        LedgerObserver {
+            dir: None,
+            ledger: None,
+        }
+    }
+
+    /// Writes to an explicit directory — the env-independent entry point
+    /// tests should use.
+    pub fn in_dir(dir: impl Into<std::path::PathBuf>) -> LedgerObserver {
+        LedgerObserver {
+            dir: Some(dir.into()),
+            ledger: None,
+        }
+    }
+
+    /// Path of the ledger file, once `on_start` has opened it.
+    pub fn path(&self) -> Option<&std::path::Path> {
+        self.ledger.as_ref().map(RunLedger::path)
+    }
+
+    fn run_name(model: &str) -> String {
+        // Distinct per run within and across processes without needing a
+        // clock: process id + a process-wide counter.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+        let slug: String = model
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .collect();
+        format!("{slug}-p{}-r{seq}", std::process::id())
+    }
+}
+
+impl Default for LedgerObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrainObserver for LedgerObserver {
+    fn on_start(&mut self, model: &str, cfg: &TrainConfig) {
+        let config = Json::obj([
+            ("model", Json::from(model)),
+            ("epochs", Json::from(cfg.epochs)),
+            ("patience", Json::from(cfg.patience)),
+            ("min_improvement", Json::from(f64::from(cfg.min_improvement))),
+            ("threshold", Json::from(f64::from(cfg.threshold))),
+        ]);
+        let run = Self::run_name(model);
+        self.ledger = match &self.dir {
+            Some(dir) => RunLedger::create_in(dir, &run, config),
+            None => RunLedger::create(&run, config),
+        };
+    }
+
+    fn on_epoch(&mut self, stats: &EpochStats) {
+        if let Some(ledger) = &mut self.ledger {
+            ledger.epoch(
+                stats.epoch,
+                f64::from(stats.loss),
+                stats.wall_us,
+                stats.grad_norm.unwrap_or(f64::NAN), // serialized as null
+            );
+        }
+    }
+
+    fn on_finish(&mut self, report: &EvalReport) {
+        if let Some(ledger) = self.ledger.take() {
+            ledger.finish([
+                ("final_loss", Json::from(f64::from(report.final_loss))),
+                ("best_loss", Json::from(f64::from(report.best_loss))),
+                ("epochs_run", Json::from(report.epochs_run)),
+                ("test_auc", Json::from(report.test.auc)),
+                ("test_f1", Json::from(report.test.f1)),
+                ("train_auc", Json::from(report.train.auc)),
+            ]);
+        }
+    }
+}
+
 /// Trains `model` on `train` and evaluates on both sets.
+///
+/// With `AHNTP_TELEMETRY=1` in the environment, the run is automatically
+/// serialized to a JSONL ledger (see [`LedgerObserver`]); otherwise this is
+/// [`train_and_evaluate_observed`] with a no-op observer.
 ///
 /// # Panics
 ///
 /// Panics if the model produces NaN losses (divergence is a bug, not a
-/// result) or an empty prediction vector.
+/// result) or an empty prediction vector. When finite checks are active
+/// (`AHNTP_CHECK_FINITE=1` or `ahntp_telemetry::set_finite_checks`), the
+/// divergence panic names the op whose output first went non-finite.
 pub fn train_and_evaluate(
     model: &mut dyn TrustModel,
     train: &[LabeledPair],
     test: &[LabeledPair],
     cfg: &TrainConfig,
 ) -> EvalReport {
+    if ahntp_telemetry::env_flag("AHNTP_TELEMETRY") {
+        let mut observer = LedgerObserver::new();
+        train_and_evaluate_observed(model, train, test, cfg, &mut observer)
+    } else {
+        train_and_evaluate_observed(model, train, test, cfg, &mut NoopObserver)
+    }
+}
+
+/// [`train_and_evaluate`] with explicit observer hooks: `on_start`, one
+/// `on_epoch` per completed epoch (in order), then `on_finish` with the
+/// final report.
+///
+/// # Panics
+///
+/// As [`train_and_evaluate`].
+pub fn train_and_evaluate_observed(
+    model: &mut dyn TrustModel,
+    train: &[LabeledPair],
+    test: &[LabeledPair],
+    cfg: &TrainConfig,
+    observer: &mut dyn TrainObserver,
+) -> EvalReport {
     assert!(!train.is_empty() && !test.is_empty(), "empty split");
+    let name = model.name();
+    ahntp_telemetry::clear_nonfinite();
+    observer.on_start(&name, cfg);
     let mut best_loss = f32::INFINITY;
     let mut stale = 0usize;
     let mut final_loss = f32::NAN;
+    let mut epoch_losses = Vec::new();
     let mut epochs_run = 0usize;
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let started = Instant::now();
         let loss = model.train_epoch(train);
-        assert!(
-            loss.is_finite(),
-            "{}: training diverged (loss = {loss})",
-            model.name()
-        );
+        let wall_us = started.elapsed().as_micros() as u64;
+        if !loss.is_finite() {
+            let provenance = ahntp_telemetry::first_nonfinite()
+                .map(|e| {
+                    format!(
+                        "; first non-finite output from op `{}` at tape step {}",
+                        e.op, e.step
+                    )
+                })
+                .unwrap_or_default();
+            panic!(
+                "{name}: training diverged (loss = {loss}) at epoch {epoch}{provenance}"
+            );
+        }
         epochs_run += 1;
         final_loss = loss;
+        epoch_losses.push(loss);
+        ahntp_telemetry::counter_add("train.epochs", 1);
+        ahntp_telemetry::histogram_record("train.epoch.us", wall_us);
+        let stats = EpochStats {
+            epoch,
+            loss,
+            wall_us,
+            grad_norm: ahntp_telemetry::gauge_get("train.grad_norm"),
+        };
+        ahntp_telemetry::debug!(
+            "train",
+            "{name} epoch {epoch}: loss {loss:.6}, {wall_us}us"
+        );
+        observer.on_epoch(&stats);
         if loss < best_loss * (1.0 - cfg.min_improvement) {
             best_loss = loss;
             stale = 0;
         } else {
             stale += 1;
             if cfg.patience > 0 && stale >= cfg.patience {
+                ahntp_telemetry::debug!(
+                    "train",
+                    "{name}: early stop after epoch {epoch} (patience {})",
+                    cfg.patience
+                );
                 break;
             }
         }
@@ -104,19 +300,24 @@ pub fn train_and_evaluate(
         assert_eq!(
             scores.len(),
             pairs.len(),
-            "{}: prediction count mismatch",
-            model.name()
+            "{name}: prediction count mismatch"
         );
         let labels: Vec<bool> = pairs.iter().map(|p| p.label).collect();
         binary_metrics(&scores, &labels, cfg.threshold)
     };
-    EvalReport {
-        model: model.name(),
-        test: eval(test),
-        train: eval(train),
+    let test = eval(test);
+    let train = eval(train);
+    let report = EvalReport {
+        model: name,
+        test,
+        train,
         final_loss,
+        best_loss: best_loss.min(final_loss),
+        epoch_losses,
         epochs_run,
-    }
+    };
+    observer.on_finish(&report);
+    report
 }
 
 #[cfg(test)]
@@ -197,6 +398,33 @@ mod tests {
         );
         assert_eq!(report.epochs_run, 20);
         assert!((report.final_loss - 1.0 / 20.0).abs() < 1e-6);
+        assert_eq!(report.best_loss, report.final_loss);
+        assert_eq!(report.epoch_losses.len(), 20);
+        assert_eq!(report.epoch_losses[0], 1.0);
+    }
+
+    #[test]
+    fn best_loss_survives_a_late_regression() {
+        // Loss dips to 0.2 then regresses; best_loss must keep the dip.
+        let mut m = Majority {
+            bias: 0.0,
+            losses: vec![1.0, 0.2, 0.9, 0.8],
+        };
+        let tr = pairs(&[true, false]);
+        let te = pairs(&[true, false]);
+        let report = train_and_evaluate(
+            &mut m,
+            &tr,
+            &te,
+            &TrainConfig {
+                epochs: 4,
+                patience: 0,
+                ..TrainConfig::default()
+            },
+        );
+        assert_eq!(report.best_loss, 0.2);
+        assert_eq!(report.final_loss, 0.8);
+        assert_eq!(report.epoch_losses, vec![1.0, 0.2, 0.9, 0.8]);
     }
 
     #[test]
@@ -209,6 +437,150 @@ mod tests {
         let tr = pairs(&[true, false]);
         let te = pairs(&[true, false]);
         train_and_evaluate(&mut m, &tr, &te, &TrainConfig::default());
+    }
+
+    #[test]
+    fn divergence_panic_names_epoch_and_recorded_op() {
+        // Simulate what the autograd tape does under AHNTP_CHECK_FINITE:
+        // record the first non-finite op, then diverge two epochs later.
+        ahntp_telemetry::clear_nonfinite();
+        struct Diverging {
+            epoch: usize,
+        }
+        impl TrustModel for Diverging {
+            fn name(&self) -> String {
+                "diverging".into()
+            }
+            fn train_epoch(&mut self, _pairs: &[LabeledPair]) -> f32 {
+                self.epoch += 1;
+                if self.epoch == 3 {
+                    ahntp_telemetry::record_nonfinite("exp", 42);
+                    f32::NAN
+                } else {
+                    1.0 / self.epoch as f32
+                }
+            }
+            fn predict(&self, pairs: &[LabeledPair]) -> Vec<f32> {
+                vec![0.5; pairs.len()]
+            }
+        }
+        let tr = pairs(&[true, false]);
+        let te = pairs(&[true, false]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            train_and_evaluate(&mut Diverging { epoch: 0 }, &tr, &te, &TrainConfig::default());
+        }));
+        let err = result.expect_err("NaN loss must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        assert!(msg.contains("training diverged"), "got: {msg}");
+        assert!(msg.contains("at epoch 2"), "got: {msg}");
+        assert!(msg.contains("op `exp` at tape step 42"), "got: {msg}");
+        ahntp_telemetry::clear_nonfinite();
+    }
+
+    #[test]
+    fn observer_sees_every_epoch_in_order() {
+        #[derive(Default)]
+        struct Recorder {
+            started: Vec<String>,
+            epochs: Vec<usize>,
+            losses: Vec<f32>,
+            finished: usize,
+        }
+        impl TrainObserver for Recorder {
+            fn on_start(&mut self, model: &str, _cfg: &TrainConfig) {
+                self.started.push(model.to_string());
+            }
+            fn on_epoch(&mut self, stats: &EpochStats) {
+                assert_eq!(self.started.len(), 1, "on_start precedes epochs");
+                assert_eq!(self.finished, 0, "on_finish comes last");
+                self.epochs.push(stats.epoch);
+                self.losses.push(stats.loss);
+            }
+            fn on_finish(&mut self, report: &EvalReport) {
+                self.finished += 1;
+                assert_eq!(self.epochs.len(), report.epochs_run);
+            }
+        }
+        let mut m = Majority {
+            bias: 0.0,
+            losses: (0..10).map(|i| 1.0 / (i + 1) as f32).collect(),
+        };
+        let tr = pairs(&[true, false, false]);
+        let te = pairs(&[true, false]);
+        let mut rec = Recorder::default();
+        let report = train_and_evaluate_observed(
+            &mut m,
+            &tr,
+            &te,
+            &TrainConfig {
+                epochs: 10,
+                patience: 0,
+                ..TrainConfig::default()
+            },
+            &mut rec,
+        );
+        assert_eq!(rec.started, vec!["majority".to_string()]);
+        assert_eq!(rec.epochs, (0..10).collect::<Vec<_>>());
+        assert_eq!(rec.losses, report.epoch_losses);
+        assert_eq!(rec.finished, 1);
+        assert_eq!(report.epochs_run, 10);
+    }
+
+    #[test]
+    fn ledger_observer_writes_one_record_per_epoch() {
+        ahntp_telemetry::set_enabled(true);
+        let dir = std::env::temp_dir().join(format!(
+            "ahntp-eval-ledger-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut m = Majority {
+            bias: 0.0,
+            losses: (0..5).map(|i| 1.0 / (i + 1) as f32).collect(),
+        };
+        let tr = pairs(&[true, false, false]);
+        let te = pairs(&[true, false]);
+        let mut obs = LedgerObserver::in_dir(&dir);
+        let report = train_and_evaluate_observed(
+            &mut m,
+            &tr,
+            &te,
+            &TrainConfig {
+                epochs: 5,
+                patience: 0,
+                ..TrainConfig::default()
+            },
+            &mut obs,
+        );
+        assert_eq!(report.epochs_run, 5);
+        // on_finish consumed the ledger; find the file in the directory.
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .expect("ledger dir exists")
+            .map(|e| e.expect("dir entry").path())
+            .collect();
+        assert_eq!(entries.len(), 1, "one run → one ledger file");
+        let text = std::fs::read_to_string(&entries[0]).expect("readable ledger");
+        let records: Vec<Json> = text
+            .lines()
+            .map(|l| ahntp_telemetry::json::parse(l).expect("valid JSONL"))
+            .collect();
+        assert_eq!(records.len(), 7, "run_start + 5 epochs + run_end");
+        let epoch_records: Vec<&Json> = records
+            .iter()
+            .filter(|r| r.get("kind").and_then(Json::as_str) == Some("epoch"))
+            .collect();
+        assert_eq!(epoch_records.len(), 5);
+        for (i, r) in epoch_records.iter().enumerate() {
+            assert_eq!(r.get("epoch").and_then(Json::as_f64), Some(i as f64));
+            assert!(r.get("loss").and_then(Json::as_f64).is_some());
+            assert!(r.get("wall_us").and_then(Json::as_f64).is_some());
+        }
+        let end = records.last().expect("non-empty");
+        assert_eq!(end.get("kind").and_then(Json::as_str), Some("run_end"));
+        assert!(end.get("test_auc").and_then(Json::as_f64).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -97,6 +97,8 @@ impl Hypergraph {
         let mut sorted = members.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
+        ahntp_telemetry::counter_add("hypergraph.edges_added", 1);
+        ahntp_telemetry::counter_add("hypergraph.incidences_added", sorted.len() as u64);
         self.edges.push(sorted);
         self.weights.push(weight);
         Ok(self.edges.len() - 1)
@@ -120,6 +122,25 @@ impl Hypergraph {
             );
             out.edges.extend(p.edges.iter().cloned());
             out.weights.extend_from_slice(&p.weights);
+        }
+        if ahntp_telemetry::enabled() {
+            let s = out.stats();
+            ahntp_telemetry::debug!(
+                "hypergraph",
+                "concat of {} hypergroups: {} vertices, {} hyperedges, mean size {:.2}, max size {}, {} isolated",
+                parts.len(),
+                s.n_vertices,
+                s.n_edges,
+                s.mean_edge_size,
+                s.max_edge_size,
+                s.isolated_vertices
+            );
+            ahntp_telemetry::gauge_set("hypergraph.concat.n_edges", s.n_edges as f64);
+            ahntp_telemetry::gauge_set("hypergraph.concat.mean_edge_size", s.mean_edge_size);
+            ahntp_telemetry::gauge_set(
+                "hypergraph.concat.isolated_vertices",
+                s.isolated_vertices as f64,
+            );
         }
         out
     }

@@ -4,6 +4,24 @@
 use crate::Param;
 use ahntp_tensor::Tensor;
 
+/// Publishes the global gradient L2 norm (over every param that has a
+/// gradient) to the `train.grad_norm` gauge. Called by both optimizers at
+/// the top of `step`, so the trainer and the run ledger can read the norm
+/// of the step that was just applied. No-op while telemetry is disabled.
+fn record_grad_norm(params: &[Param]) {
+    if !ahntp_telemetry::enabled() {
+        return;
+    }
+    let mut sq = 0.0f64;
+    for p in params {
+        if let Some(g) = p.grad() {
+            sq += g.as_slice().iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>();
+        }
+    }
+    ahntp_telemetry::gauge_set("train.grad_norm", sq.sqrt());
+    ahntp_telemetry::counter_add("optim.steps", 1);
+}
+
 /// A first-order optimizer over a fixed parameter list.
 pub trait Optimizer {
     /// Applies one update step from the gradients currently stored on the
@@ -72,6 +90,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self) {
+        record_grad_norm(&self.params);
         self.t += 1;
         let c = self.cfg;
         let bias1 = 1.0 - c.beta1.powi(self.t as i32);
@@ -134,6 +153,7 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self) {
+        record_grad_norm(&self.params);
         for (i, p) in self.params.iter().enumerate() {
             let Some(mut g) = p.grad() else { continue };
             if self.weight_decay > 0.0 {

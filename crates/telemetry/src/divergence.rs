@@ -1,0 +1,113 @@
+//! Divergence provenance: remembers the first op that produced a
+//! non-finite value so "training diverged" panics can say *where*.
+//!
+//! The autograd tape calls [`record_nonfinite`] when a finite-check trips;
+//! the trainer reads [`first_nonfinite`] when loss goes NaN/Inf and folds
+//! the op name into its panic message. State is thread-local: training
+//! runs are single-threaded per model, and cross-thread bleed would
+//! misattribute provenance.
+//!
+//! Checks cost a scan over op outputs, so they are opt-in: enabled by
+//! [`set_finite_checks`] or `AHNTP_CHECK_FINITE=1`.
+
+use std::cell::Cell;
+
+use crate::env::env_flag;
+
+/// Where a non-finite value first appeared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonFiniteEvent {
+    /// Name of the op whose output went non-finite (e.g. `"matmul"`).
+    pub op: &'static str,
+    /// Step counter supplied by the caller (usually the forward-op index).
+    pub step: usize,
+}
+
+thread_local! {
+    static FIRST: Cell<Option<NonFiniteEvent>> = const { Cell::new(None) };
+    static CHECKS: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Whether finite checks are active on this thread. Defaults to the
+/// `AHNTP_CHECK_FINITE` env flag, overridable per-thread via
+/// [`set_finite_checks`].
+pub fn finite_checks_enabled() -> bool {
+    CHECKS.with(|c| match c.get() {
+        Some(v) => v,
+        None => {
+            let v = env_flag("AHNTP_CHECK_FINITE");
+            c.set(Some(v));
+            v
+        }
+    })
+}
+
+/// Turns finite checks on/off for the current thread.
+pub fn set_finite_checks(on: bool) {
+    CHECKS.with(|c| c.set(Some(on)));
+}
+
+/// Reports that `op`'s output contained a non-finite value at `step`.
+/// Only the *first* report per thread is kept (later NaNs are downstream
+/// contamination, not the root cause).
+pub fn record_nonfinite(op: &'static str, step: usize) {
+    FIRST.with(|f| {
+        if f.get().is_none() {
+            f.set(Some(NonFiniteEvent { op, step }));
+            crate::error!(
+                "autograd",
+                "first non-finite output from op `{op}` at step {step}"
+            );
+        }
+    });
+}
+
+/// The first recorded non-finite event on this thread, if any.
+pub fn first_nonfinite() -> Option<NonFiniteEvent> {
+    FIRST.with(Cell::get)
+}
+
+/// Clears the recorded event (call at the start of a training run).
+pub fn clear_nonfinite() {
+    FIRST.with(|f| f.set(None));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_report_wins() {
+        clear_nonfinite();
+        assert_eq!(first_nonfinite(), None);
+        record_nonfinite("matmul", 7);
+        record_nonfinite("softmax", 9);
+        assert_eq!(
+            first_nonfinite(),
+            Some(NonFiniteEvent {
+                op: "matmul",
+                step: 7
+            })
+        );
+        clear_nonfinite();
+        assert_eq!(first_nonfinite(), None);
+    }
+
+    #[test]
+    fn checks_toggle_per_thread() {
+        set_finite_checks(true);
+        assert!(finite_checks_enabled());
+        set_finite_checks(false);
+        assert!(!finite_checks_enabled());
+        // Other threads see their own default, not ours.
+        set_finite_checks(true);
+        let other = std::thread::spawn(|| {
+            set_finite_checks(false);
+            finite_checks_enabled()
+        })
+        .join()
+        .unwrap();
+        assert!(!other);
+        assert!(finite_checks_enabled());
+    }
+}

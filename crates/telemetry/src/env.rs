@@ -1,0 +1,73 @@
+//! Environment parsing that surfaces mistakes instead of hiding them.
+//!
+//! `AHNTP_SCALE=larg` silently meaning "default" has burned enough bench
+//! runs; [`env_parse`] warns (via the telemetry logger) on malformed
+//! values so a typo'd knob is visible in stderr rather than discovered in
+//! a results table.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+use crate::log::{log_message, Level};
+
+/// Returns `true` when `name` is set to a truthy value (`1`, `true`,
+/// `yes`, `on`; case-insensitive). Unset, empty, or falsy → `false`.
+pub fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "1" | "true" | "yes" | "on"
+        ),
+        Err(_) => false,
+    }
+}
+
+/// Parses `name` from the environment, falling back to `default` when the
+/// variable is unset. A set-but-malformed value also falls back, but emits
+/// a `warn`-level log line naming the variable, the rejected value, and
+/// the default used — unlike a silent `unwrap_or`.
+pub fn env_parse<T>(name: &str, default: T) -> T
+where
+    T: FromStr + Display,
+    T::Err: Display,
+{
+    match std::env::var(name) {
+        Ok(raw) => match raw.trim().parse::<T>() {
+            Ok(v) => v,
+            Err(e) => {
+                log_message(
+                    Level::Warn,
+                    "env",
+                    &format!("ignoring {name}={raw:?}: {e}; using default {default}"),
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parses_truthy_forms() {
+        // Each test uses its own variable name: the process environment is
+        // shared across threads.
+        std::env::set_var("AHNTP_TEST_FLAG_A", "TRUE");
+        assert!(env_flag("AHNTP_TEST_FLAG_A"));
+        std::env::set_var("AHNTP_TEST_FLAG_A", "0");
+        assert!(!env_flag("AHNTP_TEST_FLAG_A"));
+        assert!(!env_flag("AHNTP_TEST_FLAG_UNSET_A"));
+    }
+
+    #[test]
+    fn parse_accepts_valid_and_defaults_invalid() {
+        std::env::set_var("AHNTP_TEST_PARSE_B", "42");
+        assert_eq!(env_parse("AHNTP_TEST_PARSE_B", 7usize), 42);
+        std::env::set_var("AHNTP_TEST_PARSE_B", "fortytwo");
+        assert_eq!(env_parse("AHNTP_TEST_PARSE_B", 7usize), 7);
+        assert_eq!(env_parse("AHNTP_TEST_PARSE_UNSET_B", 1.5f64), 1.5);
+    }
+}

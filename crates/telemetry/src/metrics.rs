@@ -1,0 +1,313 @@
+//! Global registry of named counters, gauges and histograms.
+//!
+//! Counters are monotonic `u64` sums (op counts, FLOPs, nnz processed,
+//! bytes allocated). Gauges hold the latest `f64` (gradient norm, learning
+//! rate). Histograms keep count/sum/min/max plus a small reservoir-free
+//! log2 bucket sketch, enough for p50/p99-style readouts of span times.
+//!
+//! All update paths take the registry mutex only on the *first* touch of a
+//! name; after that, counters and gauges update lock-free through
+//! `Arc<AtomicU64>` handles cached in the map. Everything is a no-op while
+//! telemetry is disabled.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::enabled;
+
+/// Number of log2 latency buckets: bucket `i` counts values `v` with
+/// `floor(log2(v)) == i`, saturating at the top. 64 covers the full u64
+/// microsecond range.
+const BUCKETS: usize = 64;
+
+struct Histogram {
+    count: AtomicU64,
+    /// Sum in value units, stored as integer (values are rounded).
+    sum: AtomicU64,
+    /// Min/max as raw u64 (values are non-negative integers here).
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        let bucket = (64 - value.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum,
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Approximate quantile from the log2 sketch: returns the upper bound
+    /// of the bucket containing the q-th ordered sample.
+    fn quantile(&self, q: f64) -> u64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 * q).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    /// Gauge: latest f64, stored as bits.
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| Registry {
+        metrics: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn counter_handle(name: &str) -> Option<Arc<AtomicU64>> {
+    let mut map = registry().metrics.lock().unwrap();
+    match map
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
+    {
+        Metric::Counter(c) => Some(Arc::clone(c)),
+        _ => None, // name registered as another kind; drop the update
+    }
+}
+
+/// Adds `delta` to the named counter. No-op when telemetry is disabled.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(c) = counter_handle(name) {
+        c.fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+/// Current value of the named counter (0 if never touched).
+pub fn counter_get(name: &str) -> u64 {
+    let map = registry().metrics.lock().unwrap();
+    match map.get(name) {
+        Some(Metric::Counter(c)) => c.load(Ordering::Relaxed),
+        _ => 0,
+    }
+}
+
+/// Sets the named gauge to `value`. No-op when telemetry is disabled.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut map = registry().metrics.lock().unwrap();
+    if let Metric::Gauge(g) = map
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0))))
+    {
+        g.store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Latest value of the named gauge, `None` if never set.
+pub fn gauge_get(name: &str) -> Option<f64> {
+    let map = registry().metrics.lock().unwrap();
+    match map.get(name) {
+        Some(Metric::Gauge(g)) => Some(f64::from_bits(g.load(Ordering::Relaxed))),
+        _ => None,
+    }
+}
+
+/// Records one sample (a non-negative integer, e.g. microseconds) into the
+/// named histogram. No-op when telemetry is disabled.
+#[inline]
+pub fn histogram_record(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let handle = {
+        let mut map = registry().metrics.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Some(Arc::clone(h)),
+            _ => None,
+        }
+    };
+    if let Some(h) = handle {
+        h.record(value);
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Approximate median (log2-bucket upper bound).
+    pub p50: u64,
+    /// Approximate 99th percentile (log2-bucket upper bound).
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Mean sample value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One metric's value in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter total.
+    Counter(u64),
+    /// Latest gauge reading.
+    Gauge(f64),
+    /// Histogram summary statistics.
+    Histogram(HistogramSummary),
+}
+
+/// A consistent-enough copy of every registered metric, name-sorted.
+pub type Snapshot = BTreeMap<String, MetricValue>;
+
+/// Copies the current value of every metric. Names sort alphabetically,
+/// so dotted prefixes (`tensor.matmul.calls`) group naturally.
+pub fn metrics_snapshot() -> Snapshot {
+    let map = registry().metrics.lock().unwrap();
+    map.iter()
+        .map(|(name, m)| {
+            let v = match m {
+                Metric::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                Metric::Gauge(g) => {
+                    MetricValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed)))
+                }
+                Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+            };
+            (name.clone(), v)
+        })
+        .collect()
+}
+
+/// Clears every registered metric. Intended for tests and for isolating
+/// runs inside one process; handles cached by callers are dropped too.
+pub fn metrics_reset() {
+    registry().metrics.lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_enabled;
+
+    #[test]
+    fn counters_sum_across_threads() {
+        set_enabled(true);
+        let name = "test.concurrent.counter";
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        counter_add(name, 3);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter_get(name), 8 * 1000 * 3);
+    }
+
+    #[test]
+    fn gauges_keep_latest() {
+        set_enabled(true);
+        gauge_set("test.gauge", 1.5);
+        gauge_set("test.gauge", -2.25);
+        assert_eq!(gauge_get("test.gauge"), Some(-2.25));
+        assert_eq!(gauge_get("test.gauge.unset"), None);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        set_enabled(true);
+        let name = "test.histo";
+        for v in [1u64, 2, 3, 100] {
+            histogram_record(name, v);
+        }
+        let snap = metrics_snapshot();
+        match snap.get(name) {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 4);
+                assert_eq!(h.sum, 106);
+                assert_eq!(h.min, 1);
+                assert_eq!(h.max, 100);
+                assert!(h.p50 >= 2 && h.p50 <= 3, "p50 = {}", h.p50);
+                assert!(h.p99 >= 100, "p99 = {}", h.p99);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_updates_are_dropped() {
+        set_enabled(false);
+        counter_add("test.disabled.counter", 10);
+        set_enabled(true);
+        assert_eq!(counter_get("test.disabled.counter"), 0);
+    }
+}

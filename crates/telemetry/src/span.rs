@@ -1,0 +1,103 @@
+//! RAII scope timers.
+//!
+//! ```
+//! # ahntp_telemetry::set_enabled(true);
+//! {
+//!     let _span = ahntp_telemetry::span!("spmm");
+//!     // ... kernel work ...
+//! } // drop records `span.spmm.us` and logs at trace level
+//! ```
+
+use std::time::Instant;
+
+use crate::metrics::{counter_add, histogram_record};
+use crate::{enabled, log_enabled, log_message, Level};
+
+/// A live span. Created by [`span!`](crate::span) or [`SpanGuard::enter`];
+/// records its wall time on drop. When telemetry is disabled the guard is
+/// inert (a `None` start) and drop does nothing.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Starts a span named `name`. `name` doubles as the log target, so
+    /// `AHNTP_LOG=spmm=trace` shows only `spmm` span exits.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        let start = enabled().then(Instant::now);
+        SpanGuard { name, start }
+    }
+
+    /// Wall time since the span started (zero when telemetry is off).
+    pub fn elapsed_us(&self) -> u64 {
+        self.start
+            .map(|s| s.elapsed().as_micros() as u64)
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let us = start.elapsed().as_micros() as u64;
+        histogram_record(&format!("span.{}.us", self.name), us);
+        counter_add(&format!("span.{}.calls", self.name), 1);
+        if log_enabled(Level::Trace, self.name) {
+            log_message(Level::Trace, self.name, &format!("span closed in {us}us"));
+        }
+    }
+}
+
+/// Opens a [`SpanGuard`] for the enclosing scope: `let _g = span!("spmm");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{metrics_snapshot, MetricValue};
+    use crate::set_enabled;
+
+    #[test]
+    fn span_times_are_monotone_with_work() {
+        set_enabled(true);
+        let short = {
+            let g = SpanGuard::enter("test_span_short");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            g.elapsed_us()
+        };
+        let long = {
+            let g = SpanGuard::enter("test_span_long");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            g.elapsed_us()
+        };
+        assert!(short >= 2_000, "short span under-measured: {short}us");
+        assert!(long > short, "longer work must time longer: {long} <= {short}");
+        // Drop recorded both into histograms.
+        let snap = metrics_snapshot();
+        match snap.get("span.test_span_long.us") {
+            Some(MetricValue::Histogram(h)) => {
+                assert!(h.count >= 1);
+                assert!(h.max >= 20_000, "recorded {}us", h.max);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        set_enabled(false);
+        let g = SpanGuard::enter("test_span_disabled");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert_eq!(g.elapsed_us(), 0);
+        drop(g);
+        set_enabled(true);
+        assert!(!metrics_snapshot().contains_key("span.test_span_disabled.us"));
+    }
+}

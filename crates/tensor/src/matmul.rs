@@ -1,6 +1,25 @@
 //! Dense matrix multiplication and transpose.
 
+use ahntp_telemetry::counter_add;
+
 use crate::{Shape, Tensor};
+
+/// Records one dense-product invocation in the global metrics registry.
+/// `counter_add` is a no-op (one relaxed load) while telemetry is off.
+#[inline]
+fn record_matmul(kernel: &str, m: usize, n: usize, k: usize) {
+    if !ahntp_telemetry::enabled() {
+        return;
+    }
+    counter_add("tensor.matmul.calls", 1);
+    counter_add(&format!("tensor.{kernel}.calls"), 1);
+    // Upper bound: zero-skip makes the realised count data-dependent.
+    counter_add("tensor.matmul.flops", 2 * (m * n * k) as u64);
+    counter_add(
+        "tensor.alloc.bytes",
+        (m * n * std::mem::size_of::<f32>()) as u64,
+    );
+}
 
 impl Tensor {
     /// Dense matrix product `self @ other`.
@@ -28,6 +47,7 @@ impl Tensor {
             other.shape()
         );
         let k = k1;
+        record_matmul("matmul", m, n, k);
         let mut out = vec![0.0f32; m * n];
         let a = &self.data;
         // When `other` is a vector we can index it directly as a column.
@@ -65,6 +85,7 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
+        record_matmul("t_matmul", m, n, k1);
         let mut out = vec![0.0f32; m * n];
         for kk in 0..k1 {
             let a_row = &self.data[kk * m..(kk + 1) * m];
@@ -97,6 +118,7 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
+        record_matmul("matmul_t", m, n, k1);
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             let a_row = self.row(i);

@@ -19,7 +19,21 @@
 //! Values are generic over [`Scalar`] because the learnable math runs in
 //! `f32` while motif counting and PageRank run in `f64` (see DESIGN.md §5).
 
+use ahntp_telemetry::counter_add;
+
 use crate::{Tensor, TensorError};
+
+/// Counts one sparse-kernel invocation and the nonzeros it consumed and
+/// produced. No-op while telemetry is disabled.
+#[inline]
+fn record_sparse(kernel: &str, nnz_in: usize, nnz_out: usize) {
+    if !ahntp_telemetry::enabled() {
+        return;
+    }
+    counter_add(&format!("tensor.{kernel}.calls"), 1);
+    counter_add(&format!("tensor.{kernel}.nnz_in"), nnz_in as u64);
+    counter_add(&format!("tensor.{kernel}.nnz_out"), nnz_out as u64);
+}
 
 /// A COO entry `(row, col, value)` used to build [`CsrMatrix`].
 pub type CooTriplet<T> = (usize, usize, T);
@@ -542,6 +556,7 @@ impl<T: Scalar> CsrMatrix<T> {
             touched.clear();
             row_ptr.push(col_idx.len());
         }
+        record_sparse("spmm", self.nnz() + other.nnz(), col_idx.len());
         CsrMatrix {
             rows: self.rows,
             cols: n,
@@ -607,6 +622,7 @@ impl<T: Scalar> CsrMatrix<T> {
             }
             row_ptr.push(col_idx.len());
         }
+        record_sparse("spmm_masked", self.nnz() + other.nnz(), col_idx.len());
         CsrMatrix {
             rows: self.rows,
             cols: n,
@@ -627,6 +643,7 @@ impl<T: Scalar> CsrMatrix<T> {
             self.cols,
             x.shape()
         );
+        record_sparse("mul_dense", self.nnz(), self.nnz() * x.cols());
         let cols = x.cols();
         let mut out = Tensor::zeros(self.rows, cols);
         for r in 0..self.rows {
@@ -657,6 +674,7 @@ impl<T: Scalar> CsrMatrix<T> {
             self.cols,
             x.shape()
         );
+        record_sparse("t_mul_dense", self.nnz(), self.nnz() * x.cols());
         let cols = x.cols();
         let mut out = Tensor::zeros(self.cols, cols);
         for r in 0..self.rows {

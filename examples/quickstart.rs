@@ -4,6 +4,10 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! With `AHNTP_TELEMETRY=1` the run additionally writes a JSONL ledger
+//! (per-epoch loss/wall-time/gradient-norm plus kernel counters) under
+//! `target/telemetry/` — see the Telemetry section of the README.
 
 use ahntp::{Ahntp, AhntpConfig};
 use ahntp_data::{DatasetConfig, TrustDataset};
@@ -50,9 +54,18 @@ fn main() {
         },
     );
     println!(
-        "after {} epochs: train {} | test {}",
-        report.epochs_run, report.train, report.test
+        "after {} epochs: train {} | test {} (best loss {:.4})",
+        report.epochs_run, report.train, report.test, report.best_loss
     );
+    if ahntp_telemetry::env_flag("AHNTP_TELEMETRY") {
+        println!(
+            "telemetry: run ledger written under {} ({} matmul calls, {} spmm calls)",
+            ahntp_telemetry::default_ledger_dir().display(),
+            ahntp_telemetry::counter_get("tensor.matmul.calls"),
+            ahntp_telemetry::counter_get("tensor.spmm.calls")
+                + ahntp_telemetry::counter_get("tensor.mul_dense.calls"),
+        );
+    }
 
     // 5. Score a few individual pairs — three held-out trust relations and
     //    three sampled non-relations.

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the grouped-benchmark API surface `benches/micro.rs` uses
+//! (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`) with a simple
+//! measured-median harness instead of criterion's full statistical
+//! machinery. Each benchmark warms up briefly, then times `sample_size`
+//! batches and prints min/median/mean per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name}");
+        BenchmarkGroup {
+            criterion: self,
+            _name: name.to_string(),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing the driver's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    _name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let stats = run_bench(self.criterion.sample_size, |b| f(b));
+        println!("{}", stats.render(id));
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let stats = run_bench(self.criterion.sample_size, |b| f(b, input));
+        println!("{}", stats.render(&id.0));
+        self
+    }
+
+    /// Ends the group (printing already happened per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier, usually derived from its parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    /// Measured duration of the iteration batch, filled by `iter`.
+    elapsed: Duration,
+    /// Iterations executed in the batch.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times to make the batch measurable.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: aim for batches of at least ~5 ms so Instant
+        // granularity is negligible.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed();
+        let iters = if once >= Duration::from_millis(5) {
+            1
+        } else {
+            (Duration::from_millis(5).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+struct Stats {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+}
+
+impl Stats {
+    fn render(&self, id: &str) -> String {
+        format!(
+            "  {id:<40} min {:>12?}  median {:>12?}  mean {:>12?}",
+            self.min, self.median, self.mean
+        )
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(samples: usize, mut f: F) -> Stats {
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    // One untimed warmup sample.
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 1,
+    };
+    f(&mut b);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX));
+    }
+    per_iter.sort_unstable();
+    let total: Duration = per_iter.iter().sum();
+    Stats {
+        min: per_iter[0],
+        median: per_iter[per_iter.len() / 2],
+        mean: total / u32::try_from(per_iter.len()).expect("samples fits in u32"),
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $config;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("smoke");
+        let mut runs = 0u64;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            runs += 1;
+        });
+        group.finish();
+        assert_eq!(runs, 4, "3 samples + 1 warmup");
+    }
+}
