@@ -31,6 +31,8 @@ use ahntp_baselines::{AtneTrust, BaselineConfig, Gat, Guardian, HgnnPlus, KgTrus
 use ahntp_data::{DatasetConfig, Split, TrustDataset};
 use ahntp_eval::{train_and_evaluate, EvalReport, TrainConfig, TrustModel};
 
+pub mod loadgen;
+
 /// Experiment scale resolved from the environment (see crate docs).
 #[derive(Debug, Clone, Copy)]
 pub struct Scale {
@@ -145,17 +147,38 @@ pub const TABLE4_MODELS: [&str; 9] = [
     "GAT", "SGC", "Guardian", "AtNE-Trust", "KGTrust", "UniGCN", "UniGAT", "HGNN+", "AHNTP",
 ];
 
+/// A model name that is not one of [`TABLE4_MODELS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownModelError {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown model {:?}; known models: {}",
+            self.name,
+            TABLE4_MODELS.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownModelError {}
+
 /// Builds any model of the evaluation by its Table IV name.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an unknown name.
+/// Returns [`UnknownModelError`] (listing the known names) when `name` is
+/// not a Table IV model.
 pub fn build_model(
     name: &str,
     ds: &TrustDataset,
     split: &Split,
     scale: &Scale,
-) -> Box<dyn TrustModel> {
+) -> Result<Box<dyn TrustModel>, UnknownModelError> {
     let mut bcfg = BaselineConfig {
         hidden: 64,
         out: 32,
@@ -164,7 +187,7 @@ pub fn build_model(
     };
     bcfg.adam.lr = scale.lr;
     let g = &split.train_graph;
-    match name {
+    Ok(match name {
         "GAT" => Box::new(Gat::new(&ds.features, g, &bcfg)),
         "SGC" => Box::new(Sgc::new(&ds.features, g, &bcfg)),
         "Guardian" => Box::new(Guardian::new(&ds.features, g, &bcfg)),
@@ -184,8 +207,12 @@ pub fn build_model(
             g,
             &ahntp_config(scale),
         )),
-        other => panic!("unknown model {other}"),
-    }
+        other => {
+            return Err(UnknownModelError {
+                name: other.to_string(),
+            })
+        }
+    })
 }
 
 /// AHNTP configuration at the given scale (full variant).
@@ -210,6 +237,12 @@ pub fn ahntp_variant_config(scale: &Scale, variant: AhntpVariant) -> AhntpConfig
 
 /// Trains one model on a prepared split and returns its report, logging
 /// progress to stderr.
+///
+/// # Panics
+///
+/// Panics (with the known-model list) on an unknown name — the bench
+/// tables hard-code their model columns, so an unknown name is a bug, not
+/// an input error.
 pub fn run_model(
     name: &str,
     ds: &TrustDataset,
@@ -217,7 +250,7 @@ pub fn run_model(
     scale: &Scale,
 ) -> EvalReport {
     let started = std::time::Instant::now();
-    let mut model = build_model(name, ds, split, scale);
+    let mut model = build_model(name, ds, split, scale).unwrap_or_else(|e| panic!("{e}"));
     let report = train_and_evaluate(
         model.as_mut(),
         &split.train,
@@ -302,14 +335,13 @@ mod tests {
         let ds = Dataset::Ciao.generate(&scale);
         let split = ds.split(0.8, 0.2, 2, 42);
         for name in TABLE4_MODELS {
-            let m = build_model(name, &ds, &split, &scale);
+            let m = build_model(name, &ds, &split, &scale).expect("known model");
             assert_eq!(m.name(), name, "factory name mismatch");
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown model")]
-    fn factory_rejects_unknown_names() {
+    fn factory_rejects_unknown_names_with_the_known_list() {
         let scale = Scale {
             users_ciao: 60,
             users_epinions: 60,
@@ -320,7 +352,16 @@ mod tests {
         };
         let ds = Dataset::Ciao.generate(&scale);
         let split = ds.split(0.8, 0.2, 2, 42);
-        build_model("DeepWalk", &ds, &split, &scale);
+        let err = match build_model("DeepWalk", &ds, &split, &scale) {
+            Err(e) => e,
+            Ok(_) => panic!("DeepWalk is not a Table IV model"),
+        };
+        assert_eq!(err.name, "DeepWalk");
+        let msg = err.to_string();
+        assert!(msg.contains("DeepWalk"), "{msg}");
+        for name in TABLE4_MODELS {
+            assert!(msg.contains(name), "error should list {name}: {msg}");
+        }
     }
 
     #[test]

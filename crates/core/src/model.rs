@@ -12,18 +12,40 @@ use ahntp_hypergraph::{
 };
 use ahntp_nn::loss::{
     bce_from_similarity, combined_loss, similarity_to_probability, smoothness_penalty,
-    supervised_contrastive, ContrastiveBatch,
+    supervised_contrastive, ContrastiveBatch, COSINE_CALIBRATION,
 };
 use ahntp_nn::{
     Adam, AdaptiveHypergraphConv, HypergraphConv, Mlp, Module, Optimizer, Param, Session,
+    TrustArtifact,
 };
 use ahntp_tensor::{CsrMatrix, Tensor};
+use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Cap on multi-hop hyperedge cardinality (closest-first, see
 /// [`multi_hop_hypergroup_capped`]). Keeps attention over incidence pairs
 /// linear in the graph size at high hop counts.
 const MAX_HOP_EDGE_SIZE: usize = 32;
+
+/// FNV-1a over bytes; `| 1` keeps 0 reserved for "untagged".
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h | 1
+}
+
+/// The precomputed scoring head: comprehensive embeddings and both tower
+/// outputs under the *current* parameters. Cached between parameter
+/// updates so single-pair queries and artifact export don't re-run the
+/// full hypergraph forward.
+struct HeadCache {
+    emb: Tensor,
+    trustor: Tensor,
+    trustee: Tensor,
+}
 
 /// One stack of hypergraph convolutions over a fixed hypergraph — adaptive
 /// (Eqs. 14–16) for the full model, plain (Eqs. 10–13) for `AHNTP_noatt`.
@@ -115,6 +137,12 @@ pub struct Ahntp {
     laplacian: Rc<CsrMatrix<f32>>,
     optimizer: Adam,
     influence: Vec<f64>,
+    /// Architecture fingerprint: hash of the config and hypergraph shapes,
+    /// stamped into checkpoints and serving artifacts.
+    fingerprint: u64,
+    /// Lazily computed scoring head; invalidated whenever parameters
+    /// change through [`Ahntp::train_epoch`] or [`Ahntp::load`].
+    head_cache: RefCell<Option<Rc<HeadCache>>>,
 }
 
 impl Ahntp {
@@ -173,6 +201,31 @@ impl Ahntp {
         let struct_hg = Hypergraph::concat(&[&pair, &hop]);
         let full_hg = Hypergraph::concat(&[&node_hg, &struct_hg]);
         let laplacian = Rc::new(full_hg.laplacian());
+
+        // Architecture fingerprint: everything that determines parameter
+        // names and shapes (config widths, variant, input width) plus the
+        // hypergraph shapes the convolutions are bound to. Seeds and
+        // optimizer settings are deliberately excluded — checkpoints move
+        // freely between differently-seeded builds of the same shape.
+        let fingerprint = fnv1a(
+            format!(
+                "ahntp-arch-v1|variant={}|conv={:?}|tower={:?}|k={}|hops={}|motif={:?}|\
+                 users={}|feats={}|node_hg={}x{}|struct_hg={}x{}",
+                cfg.variant,
+                cfg.conv_dims,
+                cfg.tower_dims,
+                cfg.top_k_influence,
+                cfg.multi_hops,
+                cfg.motif,
+                graph.n(),
+                features.cols(),
+                node_hg.n_vertices(),
+                node_hg.n_edges(),
+                struct_hg.n_vertices(),
+                struct_hg.n_edges(),
+            )
+            .bytes(),
+        );
 
         let adaptive = cfg.variant != AhntpVariant::NoAttention;
         let c = features.cols();
@@ -234,6 +287,8 @@ impl Ahntp {
             laplacian,
             optimizer,
             influence,
+            fingerprint,
+            head_cache: RefCell::new(None),
         }
     }
 
@@ -279,10 +334,18 @@ impl Ahntp {
         self.optimizer.params().to_vec()
     }
 
+    /// Architecture fingerprint: a hash of the configuration and
+    /// hypergraph shapes, written into checkpoint and artifact headers so
+    /// wrong-architecture loads fail up front with a clear error.
+    pub fn architecture_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// Serialises the trained parameters into a checkpoint
-    /// (state-dict-style; see `ahntp_nn::save_params`).
+    /// (state-dict-style; see `ahntp_nn::save_params_tagged`). The frame
+    /// carries this model's [architecture fingerprint](Self::architecture_fingerprint).
     pub fn save(&self) -> Vec<u8> {
-        ahntp_nn::save_params(self.optimizer.params()).to_vec()
+        ahntp_nn::save_params_tagged(self.optimizer.params(), self.fingerprint).to_vec()
     }
 
     /// Loads a checkpoint produced by [`Ahntp::save`] into this model.
@@ -291,10 +354,33 @@ impl Ahntp {
     ///
     /// # Errors
     ///
-    /// Returns [`ahntp_nn::CheckpointError`] on format, name, or shape
-    /// mismatches.
+    /// Returns [`ahntp_nn::CheckpointError::WrongArchitecture`] when the
+    /// checkpoint's fingerprint disagrees with this model's — before any
+    /// parameter is touched — and otherwise the usual format, name, or
+    /// shape errors.
     pub fn load(&self, checkpoint: &[u8]) -> Result<(), ahntp_nn::CheckpointError> {
-        ahntp_nn::load_params(self.optimizer.params(), checkpoint)
+        ahntp_nn::load_params_tagged(self.optimizer.params(), checkpoint, self.fingerprint)?;
+        self.head_cache.borrow_mut().take();
+        Ok(())
+    }
+
+    /// The scoring head under the current parameters, computed on first
+    /// use and cached until the next parameter update.
+    fn head(&self) -> Rc<HeadCache> {
+        if let Some(head) = self.head_cache.borrow().as_ref() {
+            return Rc::clone(head);
+        }
+        let s = Session::new();
+        let emb = self.embed(&s);
+        let trustor = self.tower_a.forward(&s, &emb).value();
+        let trustee = self.tower_b.forward(&s, &emb).value();
+        let head = Rc::new(HeadCache {
+            emb: emb.value(),
+            trustor,
+            trustee,
+        });
+        *self.head_cache.borrow_mut() = Some(Rc::clone(&head));
+        head
     }
 
     /// The comprehensive user embedding matrix (`n × 2·conv_dims.last()`),
@@ -306,12 +392,47 @@ impl Ahntp {
     }
 
     /// Trust probability for a single user pair.
+    ///
+    /// Reuses the cached scoring head instead of re-running the full
+    /// hypergraph forward per call, so repeated point queries between
+    /// parameter updates cost `O(d)` each. The result is identical to the
+    /// batched [`Ahntp::predict`] on the same pair (same kernels, same
+    /// order of operations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either user id is out of range.
     pub fn predict_pair(&self, trustor: usize, trustee: usize) -> f32 {
-        self.predict(&[LabeledPair {
-            trustor,
-            trustee,
-            label: false,
-        }])[0]
+        let head = self.head();
+        let n = head.trustor.rows();
+        assert!(
+            trustor < n && trustee < n,
+            "predict_pair: pair ({trustor}, {trustee}) out of range for {n} users"
+        );
+        let cs = head.trustor.cosine_rows(trustor, &head.trustee, trustee);
+        let s = Session::new();
+        let cs = s.constant(Tensor::vector(vec![cs]));
+        similarity_to_probability(&cs).value().as_slice()[0]
+    }
+
+    /// Exports the serveable artifact: the comprehensive embedding matrix
+    /// plus the pair-scoring head, baked down for the online half of the
+    /// stack (`ahntp-serve`). Head rows are L2-normalised so a server
+    /// scores a pair with one dot product; see
+    /// [`ahntp_nn::artifact::TrustArtifact`] for the `AHNTPSRV1` frame.
+    pub fn export_artifact(&self) -> TrustArtifact {
+        let head = self.head();
+        TrustArtifact {
+            model: self.name(),
+            fingerprint: self.fingerprint,
+            calibration: COSINE_CALIBRATION,
+            n_users: head.emb.rows(),
+            emb_dim: head.emb.cols(),
+            head_dim: head.trustor.cols(),
+            embeddings: head.emb.clone().into_vec(),
+            trustor_head: head.trustor.normalize_rows().into_vec(),
+            trustee_head: head.trustee.normalize_rows().into_vec(),
+        }
     }
 }
 
@@ -352,6 +473,8 @@ impl TrustModel for Ahntp {
         loss.backward();
         s.harvest();
         self.optimizer.step();
+        // Parameters moved: the cached scoring head is stale.
+        self.head_cache.borrow_mut().take();
         loss_value
     }
 
@@ -481,6 +604,83 @@ mod tests {
     }
 
     #[test]
+    fn predict_pair_matches_batched_predict() {
+        let (ds, split) = tiny_setup();
+        let mut model =
+            Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &tiny_config());
+        model.train_epoch(&split.train);
+        let pairs: Vec<LabeledPair> = split.test.iter().take(12).copied().collect();
+        let batched = model.predict(&pairs);
+        for (pair, &expected) in pairs.iter().zip(&batched) {
+            let single = model.predict_pair(pair.trustor, pair.trustee);
+            assert_eq!(
+                single, expected,
+                "predict_pair({}, {}) disagrees with batched predict",
+                pair.trustor, pair.trustee
+            );
+        }
+    }
+
+    #[test]
+    fn predict_pair_cache_invalidates_on_training() {
+        let (ds, split) = tiny_setup();
+        let mut model =
+            Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &tiny_config());
+        let before = model.predict_pair(0, 1);
+        for _ in 0..3 {
+            model.train_epoch(&split.train);
+        }
+        let after = model.predict_pair(0, 1);
+        assert_ne!(before, after, "training must refresh the cached head");
+        // And the refreshed cache still agrees with the batched path.
+        let pair = LabeledPair { trustor: 0, trustee: 1, label: false };
+        assert_eq!(after, model.predict(&[pair])[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn predict_pair_rejects_out_of_range_users() {
+        let (ds, split) = tiny_setup();
+        let model =
+            Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &tiny_config());
+        model.predict_pair(0, 10_000);
+    }
+
+    #[test]
+    fn exported_artifact_matches_predict_within_tolerance() {
+        let (ds, split) = tiny_setup();
+        let mut model =
+            Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &tiny_config());
+        for _ in 0..2 {
+            model.train_epoch(&split.train);
+        }
+        let artifact = model.export_artifact();
+        artifact.validate().expect("exported artifact is consistent");
+        assert_eq!(artifact.n_users, 80);
+        assert_eq!(artifact.emb_dim, 16);
+        assert_eq!(artifact.fingerprint, model.architecture_fingerprint());
+        // Round-trips through the AHNTPSRV1 frame.
+        let decoded = ahntp_nn::TrustArtifact::decode(&artifact.encode()).unwrap();
+        assert_eq!(decoded, artifact);
+        // Scoring from the frozen head reproduces the model's predictions.
+        let d = artifact.head_dim;
+        for pair in split.test.iter().take(10) {
+            let (u, v) = (pair.trustor, pair.trustee);
+            let dot: f32 = artifact.trustor_head[u * d..(u + 1) * d]
+                .iter()
+                .zip(&artifact.trustee_head[v * d..(v + 1) * d])
+                .map(|(a, b)| a * b)
+                .sum();
+            let score = 1.0 / (1.0 + (-dot / artifact.calibration).exp());
+            let expected = model.predict_pair(u, v);
+            assert!(
+                (score - expected).abs() < 1e-6,
+                "artifact score {score} vs model {expected} for ({u}, {v})"
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "feature rows")]
     fn mismatched_features_rejected() {
         let (ds, split) = tiny_setup();
@@ -543,6 +743,16 @@ mod checkpoint_tests {
                 ..AhntpConfig::default()
             },
         );
-        assert!(wide.load(&small.save()).is_err());
+        assert_ne!(
+            small.architecture_fingerprint(),
+            wide.architecture_fingerprint()
+        );
+        match wide.load(&small.save()) {
+            Err(ahntp_nn::CheckpointError::WrongArchitecture { expected, found }) => {
+                assert_eq!(expected, wide.architecture_fingerprint());
+                assert_eq!(found, small.architecture_fingerprint());
+            }
+            other => panic!("expected WrongArchitecture, got {other:?}"),
+        }
     }
 }

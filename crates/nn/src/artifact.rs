@@ -1,0 +1,301 @@
+//! The serveable trust artifact: the `AHNTPSRV1` binary frame.
+//!
+//! A checkpoint (`AHNTP001`, [`crate::save_params`]) captures *trainable
+//! state* — it needs the full model, its hypergraphs, and a forward pass to
+//! answer a query. An artifact captures the *online* half instead: the
+//! comprehensive user embeddings and the pair-scoring head, baked down so a
+//! server can answer `score(u, v)` with a single `O(d)` dot product and no
+//! graph machinery at all.
+//!
+//! Concretely the scoring head of the AHNTP model (Eqs. 17–19) is
+//! `σ(cos(tower_a(e_u), tower_b(e_v)) / c)` for comprehensive embeddings
+//! `e`. The exporter precomputes both tower outputs for every user and
+//! L2-normalises the rows, so the cosine collapses to a dot product:
+//!
+//! `score(u, v) = σ( ⟨trustor_head[u], trustee_head[v]⟩ / c )`
+//!
+//! # Frame layout
+//!
+//! ```text
+//! magic "AHNTPSRV1" (9 bytes)
+//! u16 version (currently 1)
+//! u64 architecture fingerprint (same hash as the AHNTP001 header; 0 = untagged)
+//! f32 calibration c (σ(cos/c); the trainer's COSINE_CALIBRATION)
+//! u32 model-name length, name bytes (UTF-8)
+//! u32 n_users, u32 emb_dim, u32 head_dim
+//! f32 embeddings    (n_users × emb_dim, row-major; raw comprehensive embeddings)
+//! f32 trustor_head  (n_users × head_dim, row-major; L2-normalised tower-A rows)
+//! f32 trustee_head  (n_users × head_dim, row-major; L2-normalised tower-B rows)
+//! ```
+//!
+//! All integers and floats are little-endian.
+
+use crate::frame::{get_f32s, get_string, need, put_f32s, put_string};
+use bytes::{Buf, BufMut, BytesMut};
+
+const MAGIC: &[u8; 9] = b"AHNTPSRV1";
+
+/// The artifact format version this build encodes and decodes.
+pub const ARTIFACT_VERSION: u16 = 1;
+
+/// Errors from artifact decoding and validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// Not an AHNTPSRV1 artifact (bad magic) or truncated frame.
+    Malformed(String),
+    /// The frame declares a version this build does not understand.
+    UnsupportedVersion(u16),
+    /// Decoded fields are mutually inconsistent (e.g. matrix lengths that
+    /// disagree with the declared dimensions, or a non-positive
+    /// calibration).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Malformed(m) => write!(f, "malformed artifact: {m}"),
+            ArtifactError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported artifact version {v} (this build understands \
+                 {ARTIFACT_VERSION})"
+            ),
+            ArtifactError::Inconsistent(m) => write!(f, "inconsistent artifact: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// A decoded (or about-to-be-encoded) serveable trust artifact.
+///
+/// Produced by `ahntp::Ahntp::export_artifact`, consumed by
+/// `ahntp_serve::TrustIndex`. All matrices are dense row-major `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrustArtifact {
+    /// Display name of the exporting model (e.g. `"AHNTP"`).
+    pub model: String,
+    /// Architecture fingerprint of the exporting model (config hash +
+    /// hypergraph shape; 0 = untagged).
+    pub fingerprint: u64,
+    /// Cosine calibration `c` of the scoring head: `p = σ(cos / c)`.
+    pub calibration: f32,
+    /// Number of users (rows in every matrix).
+    pub n_users: usize,
+    /// Width of the comprehensive embedding rows.
+    pub emb_dim: usize,
+    /// Width of the scoring-head rows.
+    pub head_dim: usize,
+    /// Raw comprehensive embeddings, `n_users × emb_dim` row-major.
+    pub embeddings: Vec<f32>,
+    /// L2-normalised trustor-side head rows, `n_users × head_dim`.
+    pub trustor_head: Vec<f32>,
+    /// L2-normalised trustee-side head rows, `n_users × head_dim`.
+    pub trustee_head: Vec<f32>,
+}
+
+impl TrustArtifact {
+    /// Checks internal consistency: matrix lengths match the declared
+    /// dimensions, the calibration is positive and finite, and every
+    /// stored value is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Inconsistent`] describing the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), ArtifactError> {
+        let check = |name: &str, data: &[f32], dim: usize| -> Result<(), ArtifactError> {
+            if data.len() != self.n_users * dim {
+                return Err(ArtifactError::Inconsistent(format!(
+                    "{name}: {} values for {} users × {dim} dims",
+                    data.len(),
+                    self.n_users
+                )));
+            }
+            if !data.iter().all(|v| v.is_finite()) {
+                return Err(ArtifactError::Inconsistent(format!(
+                    "{name}: non-finite values"
+                )));
+            }
+            Ok(())
+        };
+        if !(self.calibration.is_finite() && self.calibration > 0.0) {
+            return Err(ArtifactError::Inconsistent(format!(
+                "calibration must be positive and finite, got {}",
+                self.calibration
+            )));
+        }
+        check("embeddings", &self.embeddings, self.emb_dim)?;
+        check("trustor_head", &self.trustor_head, self.head_dim)?;
+        check("trustee_head", &self.trustee_head, self.head_dim)?;
+        Ok(())
+    }
+
+    /// Encodes the artifact into an `AHNTPSRV1` frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(
+            64 + self.model.len()
+                + 4 * (self.embeddings.len()
+                    + self.trustor_head.len()
+                    + self.trustee_head.len()),
+        );
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(ARTIFACT_VERSION);
+        buf.put_u64_le(self.fingerprint);
+        buf.put_f32_le(self.calibration);
+        put_string(&mut buf, &self.model);
+        buf.put_u32_le(self.n_users as u32);
+        buf.put_u32_le(self.emb_dim as u32);
+        buf.put_u32_le(self.head_dim as u32);
+        put_f32s(&mut buf, &self.embeddings);
+        put_f32s(&mut buf, &self.trustor_head);
+        put_f32s(&mut buf, &self.trustee_head);
+        buf.freeze().to_vec()
+    }
+
+    /// Decodes and validates an `AHNTPSRV1` frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Malformed`] on bad magic or truncation,
+    /// [`ArtifactError::UnsupportedVersion`] on an unknown version, and
+    /// [`ArtifactError::Inconsistent`] when the decoded fields disagree
+    /// with each other.
+    pub fn decode(mut data: &[u8]) -> Result<TrustArtifact, ArtifactError> {
+        let malformed = ArtifactError::Malformed;
+        need(data, MAGIC.len(), "magic").map_err(malformed)?;
+        if &data[..MAGIC.len()] != MAGIC {
+            return Err(ArtifactError::Malformed("bad magic".into()));
+        }
+        data.advance(MAGIC.len());
+        need(data, 2, "version").map_err(malformed)?;
+        let version = data.get_u16_le();
+        if version != ARTIFACT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion(version));
+        }
+        need(data, 8 + 4, "header").map_err(malformed)?;
+        let fingerprint = data.get_u64_le();
+        let calibration = data.get_f32_le();
+        let model = get_string(&mut data, "model name").map_err(malformed)?;
+        need(data, 12, "dimensions").map_err(malformed)?;
+        let n_users = data.get_u32_le() as usize;
+        let emb_dim = data.get_u32_le() as usize;
+        let head_dim = data.get_u32_le() as usize;
+        let embeddings =
+            get_f32s(&mut data, n_users * emb_dim, "embeddings").map_err(malformed)?;
+        let trustor_head =
+            get_f32s(&mut data, n_users * head_dim, "trustor head").map_err(malformed)?;
+        let trustee_head =
+            get_f32s(&mut data, n_users * head_dim, "trustee head").map_err(malformed)?;
+        if !data.is_empty() {
+            return Err(ArtifactError::Malformed(format!(
+                "{} trailing bytes after frame",
+                data.len()
+            )));
+        }
+        let artifact = TrustArtifact {
+            model,
+            fingerprint,
+            calibration,
+            n_users,
+            emb_dim,
+            head_dim,
+            embeddings,
+            trustor_head,
+            trustee_head,
+        };
+        artifact.validate()?;
+        Ok(artifact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TrustArtifact {
+        TrustArtifact {
+            model: "AHNTP".to_string(),
+            fingerprint: 0x1234_5678_9abc_def0,
+            calibration: 0.5,
+            n_users: 2,
+            emb_dim: 3,
+            head_dim: 2,
+            embeddings: vec![0.1, 0.2, 0.3, -0.4, 0.5, -0.6],
+            trustor_head: vec![1.0, 0.0, 0.6, 0.8],
+            trustee_head: vec![0.0, 1.0, 0.8, -0.6],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let a = tiny();
+        let bytes = a.encode();
+        assert_eq!(&bytes[..9], b"AHNTPSRV1");
+        let b = TrustArtifact::decode(&bytes).expect("well-formed frame");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_malformed() {
+        assert!(matches!(
+            TrustArtifact::decode(b"NOTAFRAME"),
+            Err(ArtifactError::Malformed(_))
+        ));
+        let mut bytes = tiny().encode();
+        bytes.truncate(bytes.len() - 5);
+        assert!(matches!(
+            TrustArtifact::decode(&bytes),
+            Err(ArtifactError::Malformed(_))
+        ));
+        bytes.clear();
+        assert!(TrustArtifact::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected_with_the_version() {
+        let mut bytes = tiny().encode();
+        bytes[9] = 9; // little-endian u16 version right after the magic
+        match TrustArtifact::decode(&bytes) {
+            Err(ArtifactError::UnsupportedVersion(9)) => {}
+            other => panic!("expected UnsupportedVersion(9), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = tiny().encode();
+        bytes.push(0);
+        assert!(matches!(
+            TrustArtifact::decode(&bytes),
+            Err(ArtifactError::Malformed(m)) if m.contains("trailing")
+        ));
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut a = tiny();
+        a.trustor_head.pop();
+        assert!(matches!(
+            a.validate(),
+            Err(ArtifactError::Inconsistent(m)) if m.contains("trustor_head")
+        ));
+        let mut b = tiny();
+        b.calibration = 0.0;
+        assert!(b.validate().is_err());
+        let mut c = tiny();
+        c.embeddings[0] = f32::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(ArtifactError::Inconsistent(m)) if m.contains("non-finite")
+        ));
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        assert!(ArtifactError::UnsupportedVersion(7)
+            .to_string()
+            .contains("version 7"));
+        assert!(ArtifactError::Malformed("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared helpers for the crate's self-describing binary frames.
+//!
+//! Both frame formats this crate defines — `AHNTP001` training checkpoints
+//! ([`crate::save_params`]) and `AHNTPSRV1` serveable artifacts
+//! ([`crate::artifact::TrustArtifact`]) — are flat little-endian layouts
+//! built from the same primitives: length-prefixed UTF-8 strings and
+//! contiguous `f32` runs, decoded with truncation-aware reads. This module
+//! holds those primitives so the two formats cannot drift apart.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Fails with a "truncated while reading …" message unless `data` still
+/// holds at least `n` bytes.
+pub(crate) fn need(data: &[u8], n: usize, what: &str) -> Result<(), String> {
+    if data.len() < n {
+        Err(format!("truncated while reading {what}"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Writes a `u32` length prefix followed by the UTF-8 bytes.
+pub(crate) fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads a string written by [`put_string`], advancing `data` past it.
+pub(crate) fn get_string(data: &mut &[u8], what: &str) -> Result<String, String> {
+    need(data, 4, &format!("{what} length"))?;
+    let len = data.get_u32_le() as usize;
+    need(data, len, what)?;
+    let s = String::from_utf8(data[..len].to_vec())
+        .map_err(|_| format!("non-UTF-8 {what}"))?;
+    data.advance(len);
+    Ok(s)
+}
+
+/// Writes `values` as little-endian `f32`s.
+pub(crate) fn put_f32s(buf: &mut BytesMut, values: &[f32]) {
+    for &v in values {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Reads `n` little-endian `f32`s written by [`put_f32s`], advancing
+/// `data` past them.
+pub(crate) fn get_f32s(data: &mut &[u8], n: usize, what: &str) -> Result<Vec<f32>, String> {
+    let bytes = n
+        .checked_mul(4)
+        .ok_or_else(|| format!("implausible length while reading {what}"))?;
+    need(data, bytes, what)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(data.get_f32_le());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_floats_round_trip() {
+        let mut buf = BytesMut::new();
+        put_string(&mut buf, "tower.0.w");
+        put_f32s(&mut buf, &[1.0, -2.5, f32::MIN_POSITIVE]);
+        let frozen = buf.freeze();
+        let mut data: &[u8] = &frozen;
+        assert_eq!(get_string(&mut data, "name").unwrap(), "tower.0.w");
+        assert_eq!(
+            get_f32s(&mut data, 3, "values").unwrap(),
+            vec![1.0, -2.5, f32::MIN_POSITIVE]
+        );
+        assert!(data.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_reported_with_context() {
+        let mut data: &[u8] = &[3, 0, 0, 0, b'a'];
+        let err = get_string(&mut data, "model name").unwrap_err();
+        assert!(err.contains("model name"), "{err}");
+        let mut data: &[u8] = &[0, 0];
+        assert!(get_f32s(&mut data, 1, "row").is_err());
+    }
+}

@@ -26,7 +26,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 mod conv;
+mod frame;
 mod gnn;
 mod linear;
 pub mod loss;
@@ -34,9 +36,13 @@ mod optim;
 mod param;
 mod serialize;
 
+pub use artifact::{ArtifactError, TrustArtifact, ARTIFACT_VERSION};
 pub use conv::{AdaptiveHypergraphConv, HypergraphConv};
 pub use gnn::{gcn_norm_adjacency, sgc_features, GatConv, GcnConv};
 pub use linear::{Linear, Mlp};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
 pub use param::{Module, Param, Session};
-pub use serialize::{load_params, save_params, CheckpointError};
+pub use serialize::{
+    checkpoint_fingerprint, load_params, load_params_tagged, save_params, save_params_tagged,
+    CheckpointError,
+};

@@ -10,8 +10,10 @@ use std::rc::Rc;
 /// Numerical floor inside logarithms.
 const LN_EPS: f32 = 1e-7;
 
-/// Calibration temperature of [`similarity_to_probability`].
-const COSINE_CALIBRATION: f32 = 0.5;
+/// Calibration temperature of [`similarity_to_probability`]. Public so
+/// the serving artifact (`ahntp_nn::artifact`) can record the exact
+/// constant the trained head used.
+pub const COSINE_CALIBRATION: f32 = 0.5;
 
 /// Maps a cosine similarity in `[-1, 1]` to a probability in `(0, 1)` via
 /// `σ(cs / 0.5)`.

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! magic "AHNTP001" (8 bytes)
+//! u64 architecture fingerprint (0 = untagged)
 //! u32 param count
 //! per parameter:
 //!   u32 name length, name bytes (UTF-8)
@@ -15,7 +16,16 @@
 //! same architecture, then [`load_params`] copies matching tensors in.
 //! This mirrors PyTorch's `state_dict` flow and keeps the checkpoint
 //! format independent of any model structure.
+//!
+//! The architecture fingerprint lets a model reject a checkpoint from a
+//! differently-shaped build *up front* with a clear error instead of a
+//! name/shape lottery deep in the parameter list: callers that know their
+//! architecture hash (e.g. `ahntp::Ahntp`, which hashes its config and
+//! hypergraph shapes) write it with [`save_params_tagged`] and verify it
+//! with [`load_params_tagged`]. A fingerprint of `0` means "untagged" and
+//! is never checked, so generic state-dict users keep the old behaviour.
 
+use crate::frame::{get_f32s, get_string, need, put_string};
 use crate::Param;
 use ahntp_tensor::{Shape, Tensor};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -27,6 +37,14 @@ const MAGIC: &[u8; 8] = b"AHNTP001";
 pub enum CheckpointError {
     /// Not an AHNTP checkpoint (bad magic) or truncated frame.
     Malformed(String),
+    /// The checkpoint was written by a model with a different architecture
+    /// fingerprint (config hash + hypergraph shape) than the target.
+    WrongArchitecture {
+        /// Fingerprint of the target model.
+        expected: u64,
+        /// Fingerprint stored in the checkpoint.
+        found: u64,
+    },
     /// The checkpoint holds a tensor whose shape disagrees with the
     /// same-named parameter in the target module.
     ShapeMismatch {
@@ -45,6 +63,12 @@ impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::WrongArchitecture { expected, found } => write!(
+                f,
+                "checkpoint was written by a different architecture: fingerprint \
+                 {found:#018x} in the checkpoint vs {expected:#018x} in the target \
+                 model (fingerprints hash the config and hypergraph shapes)"
+            ),
             CheckpointError::ShapeMismatch {
                 name,
                 expected,
@@ -62,16 +86,23 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-/// Serialises parameters into a checkpoint frame.
+/// Serialises parameters into an untagged checkpoint frame (architecture
+/// fingerprint 0, never verified on load).
 pub fn save_params(params: &[Param]) -> Bytes {
+    save_params_tagged(params, 0)
+}
+
+/// Serialises parameters into a checkpoint frame carrying the caller's
+/// architecture `fingerprint` (see [`load_params_tagged`]).
+pub fn save_params_tagged(params: &[Param], fingerprint: u64) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
+    buf.put_u64_le(fingerprint);
     buf.put_u32_le(params.len() as u32);
     for p in params {
         let name = p.name();
         let value = p.value();
-        buf.put_u32_le(name.len() as u32);
-        buf.put_slice(name.as_bytes());
+        put_string(&mut buf, &name);
         match value.shape() {
             Shape::Vector(n) => {
                 buf.put_u8(1);
@@ -91,32 +122,24 @@ pub fn save_params(params: &[Param]) -> Bytes {
     buf.freeze()
 }
 
-fn decode(mut data: &[u8]) -> Result<Vec<(String, Tensor)>, CheckpointError> {
-    let need = |data: &[u8], n: usize, what: &str| -> Result<(), CheckpointError> {
-        if data.len() < n {
-            Err(CheckpointError::Malformed(format!(
-                "truncated while reading {what}"
-            )))
-        } else {
-            Ok(())
-        }
-    };
-    need(data, 8, "magic")?;
+fn malformed(m: String) -> CheckpointError {
+    CheckpointError::Malformed(m)
+}
+
+fn decode(mut data: &[u8]) -> Result<(u64, Vec<(String, Tensor)>), CheckpointError> {
+    need(data, 8, "magic").map_err(malformed)?;
     if &data[..8] != MAGIC {
         return Err(CheckpointError::Malformed("bad magic".into()));
     }
     data.advance(8);
-    need(data, 4, "count")?;
+    need(data, 8, "fingerprint").map_err(malformed)?;
+    let fingerprint = data.get_u64_le();
+    need(data, 4, "count").map_err(malformed)?;
     let count = data.get_u32_le() as usize;
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
-        need(data, 4, "name length")?;
-        let name_len = data.get_u32_le() as usize;
-        need(data, name_len, "name")?;
-        let name = String::from_utf8(data[..name_len].to_vec())
-            .map_err(|_| CheckpointError::Malformed(format!("param {i}: non-UTF-8 name")))?;
-        data.advance(name_len);
-        need(data, 9, "shape")?;
+        let name = get_string(&mut data, &format!("param {i} name")).map_err(malformed)?;
+        need(data, 9, "shape").map_err(malformed)?;
         let rank = data.get_u8();
         let rows = data.get_u32_le() as usize;
         let cols = data.get_u32_le() as usize;
@@ -129,11 +152,7 @@ fn decode(mut data: &[u8]) -> Result<Vec<(String, Tensor)>, CheckpointError> {
                 )))
             }
         };
-        need(data, volume * 4, "tensor data")?;
-        let mut values = Vec::with_capacity(volume);
-        for _ in 0..volume {
-            values.push(data.get_f32_le());
-        }
+        let values = get_f32s(&mut data, volume, "tensor data").map_err(malformed)?;
         let tensor = if rank == 1 {
             Tensor::vector(values)
         } else {
@@ -142,12 +161,13 @@ fn decode(mut data: &[u8]) -> Result<Vec<(String, Tensor)>, CheckpointError> {
         };
         out.push((name, tensor));
     }
-    Ok(out)
+    Ok((fingerprint, out))
 }
 
-/// Loads a checkpoint into an existing parameter set, matching by name.
-/// Extra tensors in the checkpoint are ignored; every module parameter
-/// must be present with the right shape.
+/// Loads a checkpoint into an existing parameter set, matching by name and
+/// skipping the architecture-fingerprint check. Extra tensors in the
+/// checkpoint are ignored; every module parameter must be present with the
+/// right shape.
 ///
 /// # Errors
 ///
@@ -155,7 +175,28 @@ fn decode(mut data: &[u8]) -> Result<Vec<(String, Tensor)>, CheckpointError> {
 /// shape mismatches (in which case some parameters may already have been
 /// updated — reload or rebuild on error).
 pub fn load_params(params: &[Param], checkpoint: &[u8]) -> Result<(), CheckpointError> {
-    let entries = decode(checkpoint)?;
+    load_params_tagged(params, checkpoint, 0)
+}
+
+/// As [`load_params`], but first verifies the checkpoint's architecture
+/// fingerprint against `expected`. The check applies only when both sides
+/// are tagged (non-zero): untagged checkpoints and untagged callers keep
+/// the by-name/by-shape behaviour.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::WrongArchitecture`] on a fingerprint
+/// mismatch — before any parameter is touched — and otherwise the same
+/// errors as [`load_params`].
+pub fn load_params_tagged(
+    params: &[Param],
+    checkpoint: &[u8],
+    expected: u64,
+) -> Result<(), CheckpointError> {
+    let (found, entries) = decode(checkpoint)?;
+    if expected != 0 && found != 0 && expected != found {
+        return Err(CheckpointError::WrongArchitecture { expected, found });
+    }
     for p in params {
         let name = p.name();
         let entry = entries
@@ -173,6 +214,19 @@ pub fn load_params(params: &[Param], checkpoint: &[u8]) -> Result<(), Checkpoint
         p.set_value(entry.1.clone());
     }
     Ok(())
+}
+
+/// The architecture fingerprint stored in a checkpoint frame (0 when the
+/// checkpoint is untagged). Useful for diagnostics without a full decode.
+pub fn checkpoint_fingerprint(checkpoint: &[u8]) -> Result<u64, CheckpointError> {
+    let mut data = checkpoint;
+    need(data, 8, "magic").map_err(malformed)?;
+    if &data[..8] != MAGIC {
+        return Err(CheckpointError::Malformed("bad magic".into()));
+    }
+    data.advance(8);
+    need(data, 8, "fingerprint").map_err(malformed)?;
+    Ok(data.get_u64_le())
 }
 
 #[cfg(test)]
@@ -209,6 +263,30 @@ mod tests {
     }
 
     #[test]
+    fn fingerprints_gate_tagged_loads() {
+        let a = Linear::new("l", 3, 2, 1);
+        let blob = save_params_tagged(&a.params(), 0xdead_beef);
+        assert_eq!(checkpoint_fingerprint(&blob).unwrap(), 0xdead_beef);
+        // Matching tag loads.
+        load_params_tagged(&a.params(), &blob, 0xdead_beef).expect("same fingerprint");
+        // Mismatched tag is rejected before any parameter is touched.
+        let err = load_params_tagged(&a.params(), &blob, 0xfeed_f00d).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::WrongArchitecture {
+                expected: 0xfeed_f00d,
+                found: 0xdead_beef,
+            }
+        );
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        // Untagged on either side skips the check.
+        load_params_tagged(&a.params(), &blob, 0).expect("untagged caller");
+        let untagged = save_params(&a.params());
+        assert_eq!(checkpoint_fingerprint(&untagged).unwrap(), 0);
+        load_params_tagged(&a.params(), &untagged, 0xfeed_f00d).expect("untagged blob");
+    }
+
+    #[test]
     fn shape_mismatch_is_reported_by_name() {
         let a = Linear::new("l", 3, 2, 1);
         let b = Linear::new("l", 3, 4, 1);
@@ -238,6 +316,7 @@ mod tests {
             load_params(&a.params(), &blob),
             Err(CheckpointError::Malformed(_))
         ));
+        assert!(checkpoint_fingerprint(b"AHNTP001").is_err());
     }
 
     #[test]

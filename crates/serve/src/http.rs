@@ -1,0 +1,257 @@
+//! A deliberately small HTTP/1.1 implementation over `std` I/O.
+//!
+//! Just enough protocol for the serving endpoints: request-line, headers,
+//! and `Content-Length` bodies on the way in, fixed-length responses with
+//! keep-alive on the way out. No chunked encoding, no TLS, no
+//! percent-decoding (user ids and counts are plain integers). Limits are
+//! hard-coded and conservative because the server fronts a model, not the
+//! open internet.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+/// Maximum bytes for the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed or the socket failed mid-request.
+    Io(io::Error),
+    /// The bytes are not HTTP we understand; the message is safe to echo
+    /// into a 400 response.
+    BadRequest(String),
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    TooLarge,
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::TooLarge => write!(f, "request body too large"),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path with the query string stripped (e.g. `/topk`).
+    pub path: String,
+    /// Query parameters, last occurrence wins.
+    pub query: BTreeMap<String, String>,
+    /// Headers with lower-cased names.
+    pub headers: BTreeMap<String, String>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Whether the client asked to drop the connection after this
+    /// exchange. HTTP/1.1 defaults to keep-alive.
+    pub fn wants_close(&self) -> bool {
+        self.headers
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// A query parameter parsed to `usize`.
+    ///
+    /// # Errors
+    ///
+    /// `Err` carries a 400-ready message for missing or non-numeric
+    /// values.
+    pub fn query_usize(&self, name: &str) -> Result<usize, String> {
+        let raw = self
+            .query
+            .get(name)
+            .ok_or_else(|| format!("missing query parameter {name:?}"))?;
+        raw.parse()
+            .map_err(|_| format!("query parameter {name:?} is not a non-negative integer"))
+    }
+}
+
+/// Reads one request off the stream. `Ok(None)` means the peer closed
+/// cleanly between requests (normal keep-alive teardown).
+///
+/// # Errors
+///
+/// [`HttpError::Io`] on socket failure (including read timeouts, which
+/// surface as `WouldBlock`/`TimedOut`), [`HttpError::BadRequest`] on
+/// malformed syntax, [`HttpError::TooLarge`] on oversized bodies.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
+        _ => return Err(HttpError::BadRequest(format!("bad request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("unsupported version {version}")));
+    }
+
+    let mut headers = BTreeMap::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(HttpError::BadRequest("eof inside headers".to_string()));
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest("headers too large".to_string()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("bad header {header:?}")));
+        };
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let content_length = match headers.get("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest("bad content-length".to_string()))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.clone(), ""),
+    };
+    let mut query = BTreeMap::new();
+    for pair in query_str.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(k.to_string(), v.to_string());
+    }
+
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Writes one fixed-length response.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = parse("GET /topk?user=3&k=10 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/topk");
+        assert_eq!(req.query_usize("user"), Ok(3));
+        assert_eq!(req.query_usize("k"), Ok(10));
+        assert!(req.query_usize("missing").is_err());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let req = parse(
+            "POST /score HTTP/1.1\r\nContent-Type: application/json\r\n\
+             Content-Length: 15\r\nConnection: close\r\n\r\n{\"pairs\":[[0,1]]}",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        // Exactly Content-Length bytes are consumed, no more.
+        assert_eq!(req.body, b"{\"pairs\":[[0,1]".to_vec());
+        assert!(req.wants_close());
+        assert_eq!(req.headers.get("content-type").unwrap(), "application/json");
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_garbage_is_bad_request() {
+        assert!(matches!(parse(""), Ok(None)));
+        assert!(matches!(
+            parse("NONSENSE\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_reading() {
+        let raw = format!(
+            "POST /score HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&raw), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn responses_have_framed_bodies() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "application/json", b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

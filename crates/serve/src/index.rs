@@ -1,0 +1,280 @@
+//! The in-memory scoring index behind the serving endpoints.
+//!
+//! A [`TrustIndex`] wraps a decoded [`TrustArtifact`] and answers trust
+//! queries with no graph machinery: the artifact's head rows are already
+//! L2-normalised, so `score(u, v)` is one `O(d)` dot product followed by
+//! the trainer's calibrated sigmoid, and `top_k_trustees` is a single
+//! heap-tracked scan over all candidate rows.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ahntp_nn::{ArtifactError, TrustArtifact};
+
+/// Errors from scoring queries against a [`TrustIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScoreError {
+    /// A queried user id is not a row of the index.
+    UserOutOfRange {
+        /// The offending user id.
+        user: usize,
+        /// Number of users the index holds (valid ids are `0..n_users`).
+        n_users: usize,
+    },
+}
+
+impl std::fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScoreError::UserOutOfRange { user, n_users } => {
+                write!(f, "user {user} out of range (index holds {n_users} users)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+/// A candidate ordered by score for the top-k heap. Scores are finite
+/// (artifact validation guarantees finite inputs), so `total_cmp` is a
+/// plain total order here.
+#[derive(Debug, PartialEq)]
+struct Ranked {
+    score: f32,
+    user: usize,
+}
+
+impl Eq for Ranked {}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Ranked) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Ranked) -> std::cmp::Ordering {
+        // Ties broken toward the smaller user id for determinism.
+        self.score
+            .total_cmp(&other.score)
+            .then(other.user.cmp(&self.user))
+    }
+}
+
+/// Frozen trust-scoring index over an exported [`TrustArtifact`].
+#[derive(Debug, Clone)]
+pub struct TrustIndex {
+    artifact: TrustArtifact,
+}
+
+impl TrustIndex {
+    /// Builds the index from a decoded artifact, re-validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the artifact's own [`ArtifactError`] when it is
+    /// inconsistent.
+    pub fn from_artifact(artifact: TrustArtifact) -> Result<TrustIndex, ArtifactError> {
+        artifact.validate()?;
+        Ok(TrustIndex { artifact })
+    }
+
+    /// Decodes an `AHNTPSRV1` frame and builds the index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] on malformed, unsupported, or
+    /// inconsistent frames.
+    pub fn load(bytes: &[u8]) -> Result<TrustIndex, ArtifactError> {
+        TrustIndex::from_artifact(TrustArtifact::decode(bytes)?)
+    }
+
+    /// Number of users the index can score.
+    pub fn n_users(&self) -> usize {
+        self.artifact.n_users
+    }
+
+    /// Name of the exporting model (e.g. `"AHNTP"`).
+    pub fn model(&self) -> &str {
+        &self.artifact.model
+    }
+
+    /// Architecture fingerprint of the exporting model (0 = untagged).
+    pub fn fingerprint(&self) -> u64 {
+        self.artifact.fingerprint
+    }
+
+    fn check(&self, user: usize) -> Result<(), ScoreError> {
+        if user >= self.artifact.n_users {
+            Err(ScoreError::UserOutOfRange {
+                user,
+                n_users: self.artifact.n_users,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Raw head dot product for a pair — the cosine of the tower outputs,
+    /// since rows are L2-normalised at export time.
+    fn dot(&self, trustor: usize, trustee: usize) -> f32 {
+        let d = self.artifact.head_dim;
+        self.artifact.trustor_head[trustor * d..(trustor + 1) * d]
+            .iter()
+            .zip(&self.artifact.trustee_head[trustee * d..(trustee + 1) * d])
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    fn calibrated(&self, dot: f32) -> f32 {
+        1.0 / (1.0 + (-dot / self.artifact.calibration).exp())
+    }
+
+    /// Probability that `trustor` trusts `trustee`:
+    /// `σ(⟨trustor_head[u], trustee_head[v]⟩ / c)`, matching
+    /// `Ahntp::predict` within float tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScoreError::UserOutOfRange`] when either id is not a row.
+    pub fn score(&self, trustor: usize, trustee: usize) -> Result<f32, ScoreError> {
+        self.check(trustor)?;
+        self.check(trustee)?;
+        Ok(self.calibrated(self.dot(trustor, trustee)))
+    }
+
+    /// Scores a batch of `(trustor, trustee)` pairs in order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first out-of-range id; no partial results.
+    pub fn score_pairs(&self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, ScoreError> {
+        for &(u, v) in pairs {
+            self.check(u)?;
+            self.check(v)?;
+        }
+        Ok(pairs.iter().map(|&(u, v)| self.calibrated(self.dot(u, v))).collect())
+    }
+
+    /// The `k` most-trusted candidate trustees for `trustor` (excluding
+    /// `trustor` itself), best first; ties break toward smaller user ids.
+    /// Returns fewer than `k` entries only when the index holds fewer
+    /// candidates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScoreError::UserOutOfRange`] for an unknown trustor.
+    pub fn top_k_trustees(
+        &self,
+        trustor: usize,
+        k: usize,
+    ) -> Result<Vec<(usize, f32)>, ScoreError> {
+        self.check(trustor)?;
+        // Min-heap of the best k seen so far; scan once over all rows.
+        let mut heap: BinaryHeap<Reverse<Ranked>> = BinaryHeap::with_capacity(k + 1);
+        for candidate in 0..self.artifact.n_users {
+            if candidate == trustor {
+                continue;
+            }
+            let score = self.dot(trustor, candidate);
+            if heap.len() < k {
+                heap.push(Reverse(Ranked { score, user: candidate }));
+            } else if let Some(worst) = heap.peek() {
+                if (Ranked { score, user: candidate }) > worst.0 {
+                    heap.pop();
+                    heap.push(Reverse(Ranked { score, user: candidate }));
+                }
+            }
+        }
+        let mut out: Vec<(usize, f32)> = heap
+            .into_iter()
+            .map(|Reverse(r)| (r.user, self.calibrated(r.score)))
+            .collect();
+        // The dot→probability map is monotonic, so sorting by probability
+        // equals sorting by dot product.
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built artifact with unit head rows at known angles so every
+    /// dot product is predictable.
+    fn toy_index() -> TrustIndex {
+        let artifact = TrustArtifact {
+            model: "AHNTP".to_string(),
+            fingerprint: 0,
+            calibration: 0.5,
+            n_users: 4,
+            emb_dim: 2,
+            head_dim: 2,
+            embeddings: vec![0.0; 8],
+            // Trustor rows: all point along +x.
+            trustor_head: vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0],
+            // Trustee rows at distinct angles: cos = 1, 0.6, 0, -1.
+            trustee_head: vec![1.0, 0.0, 0.6, 0.8, 0.0, 1.0, -1.0, 0.0],
+        };
+        TrustIndex::from_artifact(artifact).unwrap()
+    }
+
+    #[test]
+    fn scores_are_the_calibrated_sigmoid_of_the_dot() {
+        let index = toy_index();
+        let sig = |cos: f32| 1.0 / (1.0 + (-cos / 0.5).exp());
+        assert_eq!(index.score(0, 0).unwrap(), sig(1.0));
+        assert_eq!(index.score(1, 1).unwrap(), sig(0.6));
+        assert_eq!(index.score(2, 2).unwrap(), 0.5); // cos 0 → σ(0)
+        assert_eq!(index.score(3, 3).unwrap(), sig(-1.0));
+    }
+
+    #[test]
+    fn batch_scores_match_singles() {
+        let index = toy_index();
+        let pairs = [(0, 1), (1, 3), (3, 0), (2, 2)];
+        let batch = index.score_pairs(&pairs).unwrap();
+        for (&(u, v), &b) in pairs.iter().zip(&batch) {
+            assert_eq!(index.score(u, v).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn out_of_range_users_are_typed_errors() {
+        let index = toy_index();
+        assert_eq!(
+            index.score(0, 7),
+            Err(ScoreError::UserOutOfRange { user: 7, n_users: 4 })
+        );
+        assert!(index.score_pairs(&[(0, 1), (9, 0)]).is_err());
+        assert!(index.top_k_trustees(4, 1).is_err());
+        let msg = ScoreError::UserOutOfRange { user: 7, n_users: 4 }.to_string();
+        assert!(msg.contains('7') && msg.contains('4'), "{msg}");
+    }
+
+    #[test]
+    fn top_k_ranks_by_score_and_excludes_self() {
+        let index = toy_index();
+        // Trustor 0 scores trustees by cosine: u1 = 0.6, u2 = 0.0, u3 = -1.
+        let top = index.top_k_trustees(0, 2).unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top[1].0, 2);
+        assert!(top[0].1 > top[1].1);
+        assert_eq!(top[0].1, index.score(0, 1).unwrap());
+        // k beyond the candidate count returns everyone but the trustor.
+        let all = index.top_k_trustees(0, 10).unwrap();
+        assert_eq!(
+            all.iter().map(|&(u, _)| u).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        // k = 0 is empty, not an error.
+        assert!(index.top_k_trustees(0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn loading_rejects_garbage_frames() {
+        assert!(TrustIndex::load(b"definitely not an artifact").is_err());
+    }
+}

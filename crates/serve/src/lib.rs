@@ -1,0 +1,44 @@
+//! Trust-inference serving stack for the AHNTP reproduction.
+//!
+//! Training (the `ahntp` crate) produces a model whose forward pass needs
+//! hypergraph convolutions; answering "does u trust v?" online does not.
+//! This crate is the online half:
+//!
+//! * [`TrustIndex`] — loads an `AHNTPSRV1` artifact (exported by
+//!   `ahntp::Ahntp::export_artifact`, format in `ahntp_nn::artifact`) and
+//!   scores pairs with one `O(d)` dot product per query. Head rows are
+//!   L2-normalised at export, so the dot *is* the cosine of Eq. 19;
+//!   [`TrustIndex::top_k_trustees`] ranks candidates with a bounded heap
+//!   over one row scan.
+//! * [`serve`] — a zero-dependency HTTP/1.1 server on
+//!   `std::net::TcpListener`: a fixed worker pool, a bounded micro-batch
+//!   queue that coalesces concurrent `POST /score` requests for the
+//!   batcher thread, and cooperative graceful shutdown that finishes
+//!   in-flight requests. Endpoints: `POST /score`, `GET /topk`,
+//!   `GET /healthz`, `GET /metrics` (all JSON, via
+//!   `ahntp_telemetry::json`).
+//!
+//! Request latency (`serve.request.us`), batch sizes
+//! (`serve.score.batch_size`), queue depth (`serve.queue.depth`) and
+//! request/error counters land in the `ahntp_telemetry` metrics registry,
+//! so `GET /metrics` and the training run ledger share one vocabulary.
+//!
+//! ```no_run
+//! use ahntp_serve::{serve, ServeConfig, TrustIndex};
+//!
+//! let bytes = std::fs::read("model.ahntpsrv").unwrap();
+//! let index = TrustIndex::load(&bytes).unwrap();
+//! let server = serve(index, &ServeConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+mod index;
+mod server;
+
+pub use index::{ScoreError, TrustIndex};
+pub use server::{serve, ServeConfig, ServerHandle};

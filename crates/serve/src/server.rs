@@ -1,0 +1,752 @@
+//! The serving loop: acceptor, worker pool, and the scoring micro-batcher.
+//!
+//! ```text
+//! TcpListener ──accept──▶ acceptor thread ──mpsc──▶ worker pool (N threads)
+//!                                                      │ POST /score
+//!                                                      ▼
+//!                                       bounded batch queue (Mutex+Condvar)
+//!                                                      │ drain ≤ max_batch
+//!                                                      ▼
+//!                                             batcher thread ──▶ TrustIndex
+//! ```
+//!
+//! Workers parse HTTP and answer `GET` endpoints directly; `POST /score`
+//! jobs go through the batch queue so concurrent clients share index
+//! scans. Shutdown is cooperative: a flag flip plus one self-connection
+//! unblocks the acceptor, workers finish their in-flight requests, and
+//! the batcher drains the queue before exiting — no request is dropped.
+//!
+//! Metrics (all under the `serve.` prefix): `serve.http.requests` /
+//! `serve.http.errors` counters, `serve.request.us` latency histogram,
+//! `serve.score.batch_size` histogram, and the `serve.queue.depth` gauge.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ahntp_telemetry::json::{parse, Json};
+use ahntp_telemetry::{
+    counter_add, gauge_set, histogram_record, info, metrics_snapshot_json, warn,
+};
+
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::index::{ScoreError, TrustIndex};
+
+/// Tuning knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// HTTP worker threads.
+    pub workers: usize,
+    /// Maximum pairs scored per batcher wake-up.
+    pub max_batch: usize,
+    /// How long the batcher waits for more jobs once it has one.
+    pub batch_wait: Duration,
+    /// Maximum queued scoring jobs before `POST /score` answers 503.
+    pub queue_capacity: usize,
+    /// Socket read timeout; bounds how long an idle keep-alive connection
+    /// can delay shutdown.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_batch: 64,
+            batch_wait: Duration::from_millis(2),
+            queue_capacity: 1024,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One queued `POST /score` request.
+struct ScoreJob {
+    pairs: Vec<(usize, usize)>,
+    reply: mpsc::Sender<Result<Vec<f32>, ScoreError>>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<ScoreJob>,
+    stopped: bool,
+}
+
+/// Bounded job queue between workers and the batcher.
+struct BatchQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl BatchQueue {
+    fn new(capacity: usize) -> BatchQueue {
+        BatchQueue {
+            state: Mutex::new(QueueState::default()),
+            cond: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues a job; `false` means full or stopping (caller answers 503).
+    fn push(&self, job: ScoreJob) -> bool {
+        let mut state = self.state.lock().unwrap();
+        if state.stopped || state.jobs.len() >= self.capacity {
+            return false;
+        }
+        state.jobs.push_back(job);
+        gauge_set("serve.queue.depth", state.jobs.len() as f64);
+        self.cond.notify_one();
+        true
+    }
+
+    fn stop(&self) {
+        self.state.lock().unwrap().stopped = true;
+        self.cond.notify_all();
+    }
+}
+
+/// The batcher loop: sleep until work arrives, linger `batch_wait` to let
+/// a batch form, drain up to `max_batch` pairs, score, reply.
+fn run_batcher(queue: &BatchQueue, index: &TrustIndex, max_batch: usize, batch_wait: Duration) {
+    loop {
+        let mut state = queue.state.lock().unwrap();
+        while state.jobs.is_empty() && !state.stopped {
+            state = queue.cond.wait(state).unwrap();
+        }
+        if state.jobs.is_empty() && state.stopped {
+            return; // drained and told to stop
+        }
+        // Linger briefly so concurrent clients coalesce into one batch —
+        // unless we're already full or shutting down.
+        let deadline = Instant::now() + batch_wait;
+        loop {
+            let queued: usize = state.jobs.iter().map(|j| j.pairs.len()).sum();
+            if queued >= max_batch || state.stopped {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, _timeout) = queue.cond.wait_timeout(state, deadline - now).unwrap();
+            state = next;
+        }
+        // Drain whole jobs until the batch is full (always at least one).
+        let mut batch: Vec<ScoreJob> = Vec::new();
+        let mut batch_pairs = 0usize;
+        while let Some(job) = state.jobs.front() {
+            if !batch.is_empty() && batch_pairs + job.pairs.len() > max_batch {
+                break;
+            }
+            batch_pairs += job.pairs.len();
+            batch.push(state.jobs.pop_front().unwrap());
+        }
+        gauge_set("serve.queue.depth", state.jobs.len() as f64);
+        drop(state);
+
+        histogram_record("serve.score.batch_size", batch_pairs as u64);
+        let all: Vec<(usize, usize)> = batch
+            .iter()
+            .flat_map(|j| j.pairs.iter().copied())
+            .collect();
+        match index.score_pairs(&all) {
+            Ok(scores) => {
+                let mut offset = 0;
+                for job in batch {
+                    let n = job.pairs.len();
+                    let slice = scores[offset..offset + n].to_vec();
+                    offset += n;
+                    let _ = job.reply.send(Ok(slice));
+                }
+            }
+            Err(_) => {
+                // Some job smuggled in a bad id; rescore per job so only
+                // the offender sees the error.
+                for job in batch {
+                    let _ = job.reply.send(index.score_pairs(&job.pairs));
+                }
+            }
+        }
+    }
+}
+
+/// Handle to a running server. Dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<BatchQueue>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port when the config asked
+    /// for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stops accepting, lets in-flight requests
+    /// finish, drains the scoring queue, joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already stopped
+        }
+        // Unblock the acceptor's accept() with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+        // Acceptor exit drops the connection sender; workers drain the
+        // channel, finish their in-flight requests, and exit.
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        // No worker can enqueue anymore: drain the batcher and stop it.
+        self.queue.stop();
+        if let Some(t) = self.batcher.take() {
+            let _ = t.join();
+        }
+        info!("serve", "server on {} stopped", self.addr);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Starts the server and returns once the socket is bound and every
+/// thread is running.
+///
+/// # Errors
+///
+/// Fails when the address cannot be bound.
+pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let index = Arc::new(index);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(BatchQueue::new(config.queue_capacity.max(1)));
+
+    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break; // the wake-up connection, or late arrival
+                        }
+                        if conn_tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        warn!("serve", "accept failed: {e}");
+                    }
+                }
+            }
+        })
+    };
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|_| {
+            let conn_rx = Arc::clone(&conn_rx);
+            let index = Arc::clone(&index);
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            let read_timeout = config.read_timeout;
+            std::thread::spawn(move || loop {
+                // Don't hold the receiver lock while serving a connection.
+                let stream = match conn_rx.lock().unwrap().recv() {
+                    Ok(s) => s,
+                    Err(_) => return, // acceptor gone and channel drained
+                };
+                if let Err(e) =
+                    handle_connection(stream, &index, &queue, &shutdown, read_timeout)
+                {
+                    warn!("serve", "connection dropped: {e}");
+                }
+            })
+        })
+        .collect();
+
+    let batcher = {
+        let index = Arc::clone(&index);
+        let queue = Arc::clone(&queue);
+        let (max_batch, batch_wait) = (config.max_batch.max(1), config.batch_wait);
+        std::thread::spawn(move || run_batcher(&queue, &index, max_batch, batch_wait))
+    };
+
+    info!(
+        "serve",
+        "serving {} users of model {:?} on {addr} with {} workers",
+        index.n_users(),
+        index.model(),
+        config.workers.max(1)
+    );
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        queue,
+        acceptor: Some(acceptor),
+        workers,
+        batcher: Some(batcher),
+    })
+}
+
+/// Serves one connection (keep-alive loop) until close, error, or
+/// shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    index: &TrustIndex,
+    queue: &BatchQueue,
+    shutdown: &AtomicBool,
+    read_timeout: Duration,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(read_timeout))?;
+    // Responses are one small write each; Nagle + delayed ACK would add
+    // ~40ms per exchange.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(req)) => {
+                let started = Instant::now();
+                counter_add("serve.http.requests", 1);
+                let (status, reason, body) = route(&req, index, queue);
+                if status >= 400 {
+                    counter_add("serve.http.errors", 1);
+                }
+                // Finish the in-flight response even during shutdown, but
+                // don't invite another request.
+                let keep_alive = !req.wants_close() && !shutdown.load(Ordering::SeqCst);
+                write_response(
+                    &mut writer,
+                    status,
+                    reason,
+                    "application/json",
+                    body.to_line().as_bytes(),
+                    keep_alive,
+                )?;
+                histogram_record("serve.request.us", started.elapsed().as_micros() as u64);
+                if !keep_alive {
+                    return Ok(());
+                }
+            }
+            Ok(None) => return Ok(()), // peer closed between requests
+            Err(HttpError::Io(e))
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                // Idle keep-alive poll tick; only exit once shutdown is on.
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(HttpError::Io(e)) => return Err(e),
+            Err(HttpError::BadRequest(m)) => {
+                counter_add("serve.http.errors", 1);
+                let body = Json::obj([("error", Json::from(m.as_str()))]).to_line();
+                write_response(&mut writer, 400, "Bad Request", "application/json",
+                    body.as_bytes(), false)?;
+                return Ok(());
+            }
+            Err(HttpError::TooLarge) => {
+                counter_add("serve.http.errors", 1);
+                let body =
+                    Json::obj([("error", Json::from("body too large"))]).to_line();
+                write_response(&mut writer, 413, "Payload Too Large", "application/json",
+                    body.as_bytes(), false)?;
+                return Ok(());
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+/// Dispatches one request to its endpoint; returns status, reason, body.
+fn route(req: &Request, index: &TrustIndex, queue: &BatchQueue) -> (u16, &'static str, Json) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/score") => score_endpoint(req, queue),
+        ("GET", "/topk") => topk_endpoint(req, index),
+        ("GET", "/healthz") => (
+            200,
+            "OK",
+            Json::obj([
+                ("status", "ok".into()),
+                ("model", index.model().into()),
+                ("n_users", index.n_users().into()),
+                // Hex string: u64 fingerprints don't fit in JSON's f64.
+                ("fingerprint", format!("{:016x}", index.fingerprint()).into()),
+            ]),
+        ),
+        ("GET", "/metrics") => (200, "OK", metrics_snapshot_json()),
+        (_, "/score") | (_, "/topk") | (_, "/healthz") | (_, "/metrics") => (
+            405,
+            "Method Not Allowed",
+            Json::obj([("error", "method not allowed".into())]),
+        ),
+        _ => (
+            404,
+            "Not Found",
+            Json::obj([("error", "no such endpoint".into())]),
+        ),
+    }
+}
+
+/// Reads `{"pairs": [[u, v], ...]}` out of a `/score` body.
+fn parse_pairs(body: &[u8]) -> Result<Vec<(usize, usize)>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = parse(text).map_err(|e| format!("body is not JSON: {e}"))?;
+    let Some(Json::Arr(items)) = doc.get("pairs") else {
+        return Err("body must be {\"pairs\": [[trustor, trustee], ...]}".to_string());
+    };
+    let as_user = |v: &Json| -> Result<usize, String> {
+        match v.as_f64() {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64 => Ok(n as usize),
+            _ => Err(format!("user ids must be non-negative integers, got {}", v.to_line())),
+        }
+    };
+    items
+        .iter()
+        .map(|item| match item {
+            Json::Arr(pair) if pair.len() == 2 => {
+                Ok((as_user(&pair[0])?, as_user(&pair[1])?))
+            }
+            other => Err(format!("each pair must be [trustor, trustee], got {}", other.to_line())),
+        })
+        .collect()
+}
+
+fn score_endpoint(req: &Request, queue: &BatchQueue) -> (u16, &'static str, Json) {
+    let pairs = match parse_pairs(&req.body) {
+        Ok(p) => p,
+        Err(m) => return (400, "Bad Request", Json::obj([("error", m.into())])),
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if !queue.push(ScoreJob { pairs, reply: reply_tx }) {
+        return (
+            503,
+            "Service Unavailable",
+            Json::obj([("error", "scoring queue full".into())]),
+        );
+    }
+    match reply_rx.recv() {
+        Ok(Ok(scores)) => (
+            200,
+            "OK",
+            Json::obj([(
+                "scores",
+                Json::Arr(scores.into_iter().map(Json::from).collect()),
+            )]),
+        ),
+        Ok(Err(e)) => (400, "Bad Request", Json::obj([("error", e.to_string().into())])),
+        // Batcher went away mid-flight (shutdown race): overloaded-style
+        // answer rather than a hung worker.
+        Err(_) => (
+            503,
+            "Service Unavailable",
+            Json::obj([("error", "scoring backend stopped".into())]),
+        ),
+    }
+}
+
+fn topk_endpoint(req: &Request, index: &TrustIndex) -> (u16, &'static str, Json) {
+    let user = match req.query_usize("user") {
+        Ok(u) => u,
+        Err(m) => return (400, "Bad Request", Json::obj([("error", m.into())])),
+    };
+    let k = match req.query.get("k") {
+        Some(_) => match req.query_usize("k") {
+            Ok(k) => k,
+            Err(m) => return (400, "Bad Request", Json::obj([("error", m.into())])),
+        },
+        None => 10,
+    };
+    match index.top_k_trustees(user, k) {
+        Ok(top) => (
+            200,
+            "OK",
+            Json::obj([
+                ("user", user.into()),
+                (
+                    "trustees",
+                    Json::Arr(
+                        top.into_iter()
+                            .map(|(v, s)| {
+                                Json::obj([("user", v.into()), ("score", s.into())])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        Err(e) => (400, "Bad Request", Json::obj([("error", e.to_string().into())])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahntp_nn::TrustArtifact;
+    use std::io::{BufRead, Read};
+
+    fn toy_index(n_users: usize) -> TrustIndex {
+        // Unit rows at distinct angles around the circle.
+        let row = |i: usize| {
+            let a = i as f32 * 0.7;
+            vec![a.cos(), a.sin()]
+        };
+        let artifact = TrustArtifact {
+            model: "AHNTP".to_string(),
+            fingerprint: 0xfeed_beef_0000_0001,
+            calibration: 0.5,
+            n_users,
+            emb_dim: 2,
+            head_dim: 2,
+            embeddings: vec![0.0; n_users * 2],
+            trustor_head: (0..n_users).flat_map(row).collect(),
+            trustee_head: (0..n_users).rev().flat_map(row).collect(),
+        };
+        TrustIndex::from_artifact(artifact).unwrap()
+    }
+
+    fn start(n_users: usize) -> ServerHandle {
+        ahntp_telemetry::set_enabled(true);
+        serve(
+            toy_index(n_users),
+            &ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind 127.0.0.1:0")
+    }
+
+    /// Blocking one-shot HTTP exchange; returns (status, body).
+    fn exchange(addr: SocketAddr, request: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut reader = BufReader::new(&mut stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8(body).unwrap())
+    }
+
+    fn post_score(addr: SocketAddr, body: &str) -> (u16, String) {
+        exchange(
+            addr,
+            &format!(
+                "POST /score HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn score_endpoint_matches_the_index() {
+        let server = start(6);
+        let addr = server.addr();
+        let index = toy_index(6);
+        let (status, body) = post_score(addr, r#"{"pairs":[[0,1],[2,5],[3,3]]}"#);
+        assert_eq!(status, 200, "{body}");
+        let doc = parse(&body).unwrap();
+        let Some(Json::Arr(scores)) = doc.get("scores") else {
+            panic!("no scores in {body}");
+        };
+        let expected = index.score_pairs(&[(0, 1), (2, 5), (3, 3)]).unwrap();
+        assert_eq!(scores.len(), expected.len());
+        for (got, want) in scores.iter().zip(&expected) {
+            let got = got.as_f64().unwrap();
+            assert!((got - f64::from(*want)).abs() < 1e-6, "{got} vs {want}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_get_typed_errors() {
+        let server = start(4);
+        let addr = server.addr();
+        let (status, body) = post_score(addr, "not json at all");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("JSON"), "{body}");
+        let (status, body) = post_score(addr, r#"{"pairs":[[0,99]]}"#);
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("out of range"), "{body}");
+        let (status, _) = post_score(addr, r#"{"pairs":[[0,-1]]}"#);
+        assert_eq!(status, 400);
+        let (status, _) = exchange(addr, "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 404);
+        let (status, _) = exchange(addr, "PUT /score HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn topk_healthz_and_metrics_respond() {
+        let server = start(5);
+        let addr = server.addr();
+        let (status, body) =
+            exchange(addr, "GET /topk?user=0&k=3 HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 200, "{body}");
+        let doc = parse(&body).unwrap();
+        let Some(Json::Arr(trustees)) = doc.get("trustees") else {
+            panic!("no trustees in {body}");
+        };
+        assert_eq!(trustees.len(), 3);
+        let expected = toy_index(5).top_k_trustees(0, 3).unwrap();
+        for (item, (user, _)) in trustees.iter().zip(&expected) {
+            assert_eq!(item.get("user").and_then(Json::as_f64), Some(*user as f64));
+        }
+
+        let (status, body) =
+            exchange(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 200);
+        let doc = parse(&body).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(doc.get("n_users").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(
+            doc.get("fingerprint").and_then(Json::as_str),
+            Some("feedbeef00000001")
+        );
+
+        let (status, body) =
+            exchange(addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 200);
+        let doc = parse(&body).unwrap();
+        // At least the requests we just made are visible.
+        assert!(
+            doc.get("serve.http.requests").and_then(Json::as_f64).unwrap_or(0.0) >= 2.0,
+            "{body}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_per_connection() {
+        let server = start(4);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        for _ in 0..3 {
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+                .unwrap();
+            let mut reader = BufReader::new(&stream);
+            let mut status_line = String::new();
+            reader.read_line(&mut status_line).unwrap();
+            assert!(status_line.contains("200"), "{status_line}");
+            let mut content_length = 0usize;
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                if line.trim_end().is_empty() {
+                    break;
+                }
+                if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                    content_length = v.trim().parse().unwrap();
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body).unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_completes_inflight_requests() {
+        let server = start(8);
+        let addr = server.addr();
+        // Hammer the server from several client threads while the main
+        // thread shuts it down; every exchange must either complete with
+        // 200/503 or fail at the socket level — never hang or panic.
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut completed = 0usize;
+                    for _ in 0..20 {
+                        let mut stream = match TcpStream::connect(addr) {
+                            Ok(s) => s,
+                            Err(_) => break, // listener already closed
+                        };
+                        let body = r#"{"pairs":[[0,1],[2,3],[4,5]]}"#;
+                        let req = format!(
+                            "POST /score HTTP/1.1\r\nContent-Length: {}\r\n\
+                             Connection: close\r\n\r\n{body}",
+                            body.len()
+                        );
+                        if stream.write_all(req.as_bytes()).is_err() {
+                            break;
+                        }
+                        let mut response = String::new();
+                        if BufReader::new(&stream).read_to_string(&mut response).is_err() {
+                            break;
+                        }
+                        if response.is_empty() {
+                            break; // connection accepted but never served
+                        }
+                        assert!(
+                            response.starts_with("HTTP/1.1 200")
+                                || response.starts_with("HTTP/1.1 503"),
+                            "unexpected response: {response:?}"
+                        );
+                        if response.starts_with("HTTP/1.1 200") {
+                            completed += 1;
+                        }
+                    }
+                    completed
+                })
+            })
+            .collect();
+        // Let the clients get going, then pull the plug.
+        std::thread::sleep(Duration::from_millis(30));
+        server.shutdown();
+        let total: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        assert!(total > 0, "no request completed before shutdown");
+    }
+
+    #[test]
+    fn full_queue_answers_503() {
+        // Capacity-1 queue and a parked batcher thread can't be arranged
+        // without hooks; instead stop the queue directly and check the
+        // push path degrades to 503.
+        let queue = BatchQueue::new(1);
+        queue.stop();
+        let (tx, _rx) = mpsc::channel();
+        assert!(!queue.push(ScoreJob { pairs: vec![(0, 0)], reply: tx }));
+    }
+}

@@ -20,7 +20,7 @@ use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use crate::json::Json;
-use crate::metrics::{metrics_snapshot, HistogramSummary, MetricValue};
+use crate::metrics::metrics_snapshot_json;
 use crate::{info, warn};
 
 /// Directory ledgers are written to: `AHNTP_TELEMETRY_DIR` if set,
@@ -104,12 +104,7 @@ impl RunLedger {
     /// Writes the `run_end` record: caller-supplied final fields plus a
     /// snapshot of every registered metric, then flushes.
     pub fn finish(mut self, final_fields: impl IntoIterator<Item = (&'static str, Json)>) {
-        let metrics = Json::Obj(
-            metrics_snapshot()
-                .into_iter()
-                .map(|(name, v)| (name, metric_to_json(v)))
-                .collect(),
-        );
+        let metrics = metrics_snapshot_json();
         let mut fields: Vec<(&'static str, Json)> = final_fields.into_iter().collect();
         fields.push(("metrics", metrics));
         self.write_record("run_end", fields);
@@ -132,28 +127,6 @@ impl RunLedger {
         if writeln!(self.writer, "{line}").and_then(|_| self.writer.flush()).is_err() {
             // Disk full / closed fd: drop silently, training must go on.
         }
-    }
-}
-
-fn metric_to_json(v: MetricValue) -> Json {
-    match v {
-        MetricValue::Counter(c) => Json::from(c),
-        MetricValue::Gauge(g) => Json::from(g),
-        MetricValue::Histogram(HistogramSummary {
-            count,
-            sum,
-            min,
-            max,
-            p50,
-            p99,
-        }) => Json::obj([
-            ("count", count.into()),
-            ("sum", sum.into()),
-            ("min", min.into()),
-            ("max", max.into()),
-            ("p50", p50.into()),
-            ("p99", p99.into()),
-        ]),
     }
 }
 

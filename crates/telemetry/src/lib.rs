@@ -59,7 +59,7 @@ pub use ledger::{default_ledger_dir, RunLedger};
 pub use log::{log_enabled, log_message, set_log_filter, Level};
 pub use metrics::{
     counter_add, counter_get, gauge_get, gauge_set, histogram_record, metrics_reset,
-    metrics_snapshot, HistogramSummary, MetricValue, Snapshot,
+    metrics_snapshot, metrics_snapshot_json, HistogramSummary, MetricValue, Snapshot,
 };
 pub use span::SpanGuard;
 

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::enabled;
+use crate::json::Json;
 
 /// Number of log2 latency buckets: bucket `i` counts values `v` with
 /// `floor(log2(v)) == i`, saturating at the top. 64 covers the full u64
@@ -222,6 +223,33 @@ pub enum MetricValue {
     Histogram(HistogramSummary),
 }
 
+impl MetricValue {
+    /// JSON rendering used by the run ledger's `run_end` record and the
+    /// serving `/metrics` endpoint: counters and gauges become numbers,
+    /// histograms become `{count, sum, min, max, p50, p99}` objects.
+    pub fn to_json(&self) -> Json {
+        match *self {
+            MetricValue::Counter(c) => Json::from(c),
+            MetricValue::Gauge(g) => Json::from(g),
+            MetricValue::Histogram(HistogramSummary {
+                count,
+                sum,
+                min,
+                max,
+                p50,
+                p99,
+            }) => Json::obj([
+                ("count", count.into()),
+                ("sum", sum.into()),
+                ("min", min.into()),
+                ("max", max.into()),
+                ("p50", p50.into()),
+                ("p99", p99.into()),
+            ]),
+        }
+    }
+}
+
 /// A consistent-enough copy of every registered metric, name-sorted.
 pub type Snapshot = BTreeMap<String, MetricValue>;
 
@@ -241,6 +269,18 @@ pub fn metrics_snapshot() -> Snapshot {
             (name.clone(), v)
         })
         .collect()
+}
+
+/// The full metrics snapshot as one JSON object keyed by metric name —
+/// exactly what the ledger embeds in `run_end` and what `GET /metrics`
+/// serves.
+pub fn metrics_snapshot_json() -> Json {
+    Json::Obj(
+        metrics_snapshot()
+            .into_iter()
+            .map(|(name, v)| (name, v.to_json()))
+            .collect(),
+    )
 }
 
 /// Clears every registered metric. Intended for tests and for isolating

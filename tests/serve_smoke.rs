@@ -1,0 +1,194 @@
+//! End-to-end smoke test of the serving stack, as close to deployment as
+//! a test gets: train a tiny model, export the `AHNTPSRV1` artifact,
+//! serve it over a real TCP socket, and check that HTTP answers match
+//! `Ahntp::predict` within 1e-6 — then that metrics, the run ledger, and
+//! graceful shutdown all hold up. This is the CI serve smoke step.
+
+use ahntp::{Ahntp, AhntpConfig};
+use ahntp_bench::loadgen::{http_request, run_load, LoadConfig};
+use ahntp_data::{DatasetConfig, LabeledPair, TrustDataset};
+use ahntp_eval::TrustModel;
+use ahntp_serve::{serve, ServeConfig, TrustIndex};
+use ahntp_telemetry::json::{parse, Json};
+use ahntp_telemetry::RunLedger;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn trained_model() -> (TrustDataset, Vec<LabeledPair>, Ahntp) {
+    let dataset = TrustDataset::generate(&DatasetConfig::ciao_like(80, 11));
+    let split = dataset.split(0.8, 0.2, 2, 42);
+    let mut model = Ahntp::new(
+        &dataset.features,
+        &dataset.attributes,
+        &split.train_graph,
+        &AhntpConfig {
+            conv_dims: vec![16, 8],
+            tower_dims: vec![8],
+            seed: 11,
+            ..AhntpConfig::default()
+        },
+    );
+    for _ in 0..5 {
+        model.train_epoch(&split.train);
+    }
+    let test = split.test.clone();
+    (dataset, test, model)
+}
+
+#[test]
+fn serve_smoke_end_to_end() {
+    ahntp_telemetry::set_enabled(true);
+    let (_dataset, test_pairs, model) = trained_model();
+
+    // Export → encode → decode → index: the full artifact path.
+    let artifact = model.export_artifact();
+    let index = TrustIndex::load(&artifact.encode()).expect("exported artifact loads");
+    assert_eq!(index.fingerprint(), model.architecture_fingerprint());
+
+    // Direct index scores match the training-side forward pass.
+    for pair in test_pairs.iter().take(20) {
+        let served = index.score(pair.trustor, pair.trustee).unwrap();
+        let trained = model.predict_pair(pair.trustor, pair.trustee);
+        assert!(
+            (served - trained).abs() < 1e-6,
+            "index {served} vs model {trained} for ({}, {})",
+            pair.trustor,
+            pair.trustee
+        );
+    }
+
+    let server = serve(
+        index,
+        &ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    // Health first.
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let (status, body) = http_request(&mut conn, "GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let health = parse(&body).unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        health.get("n_users").and_then(Json::as_f64),
+        Some(80.0)
+    );
+
+    // Scores over the wire match Ahntp::predict within 1e-6.
+    let pairs: Vec<&LabeledPair> = test_pairs.iter().take(10).collect();
+    let body_json = format!(
+        "{{\"pairs\":[{}]}}",
+        pairs
+            .iter()
+            .map(|p| format!("[{},{}]", p.trustor, p.trustee))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let (status, body) = http_request(&mut conn, "POST", "/score", &body_json).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc = parse(&body).unwrap();
+    let Some(Json::Arr(scores)) = doc.get("scores") else {
+        panic!("no scores array in {body}");
+    };
+    assert_eq!(scores.len(), pairs.len());
+    for (pair, score) in pairs.iter().zip(scores) {
+        let over_http = score.as_f64().unwrap();
+        let direct = f64::from(model.predict_pair(pair.trustor, pair.trustee));
+        assert!(
+            (over_http - direct).abs() < 1e-6,
+            "http {over_http} vs model {direct} for ({}, {})",
+            pair.trustor,
+            pair.trustee
+        );
+    }
+
+    // Top-k agrees with a brute-force argmax over the model itself.
+    let (status, body) = http_request(&mut conn, "GET", "/topk?user=0&k=1", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc = parse(&body).unwrap();
+    let Some(Json::Arr(trustees)) = doc.get("trustees") else {
+        panic!("no trustees in {body}");
+    };
+    let best_served = trustees[0].get("user").and_then(Json::as_f64).unwrap() as usize;
+    let best_direct = (0..80usize)
+        .filter(|&v| v != 0)
+        .max_by(|&a, &b| {
+            model
+                .predict_pair(0, a)
+                .total_cmp(&model.predict_pair(0, b))
+        })
+        .unwrap();
+    assert_eq!(best_served, best_direct);
+
+    // A burst of concurrent load, so the batch histograms see real traffic.
+    let load = run_load(
+        addr,
+        &LoadConfig {
+            connections: 3,
+            requests_per_connection: 30,
+            pairs_per_request: 4,
+            n_users: 80,
+        },
+    );
+    assert_eq!(load.failed, 0, "{}", load.summary());
+    assert!(load.p50_us <= load.p99_us);
+    assert!(load.throughput_rps > 0.0);
+
+    // The /metrics snapshot carries the latency and batch-size histograms.
+    let (status, body) = http_request(&mut conn, "GET", "/metrics", "").unwrap();
+    assert_eq!(status, 200);
+    let metrics = parse(&body).expect("metrics endpoint emits valid JSON");
+    let latency = metrics.get("serve.request.us").expect("latency histogram");
+    assert!(
+        latency.get("count").and_then(Json::as_f64).unwrap() >= 90.0,
+        "{body}"
+    );
+    let batches = metrics
+        .get("serve.score.batch_size")
+        .expect("batch-size histogram");
+    assert!(batches.get("count").and_then(Json::as_f64).unwrap() >= 1.0);
+    assert!(metrics.get("serve.queue.depth").is_some());
+
+    // The same histograms land in a run ledger's run_end record.
+    let dir = std::env::temp_dir().join(format!("ahntp-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ledger = RunLedger::create_in(&dir, "serve-smoke", Json::Null).expect("open ledger");
+    let ledger_path = ledger.path().to_path_buf();
+    ledger.finish([("endpoint", Json::from(addr.to_string()))]);
+    let text = std::fs::read_to_string(&ledger_path).unwrap();
+    let run_end = text
+        .lines()
+        .map(|l| parse(l).unwrap())
+        .find(|r| r.get("kind").and_then(Json::as_str) == Some("run_end"))
+        .expect("ledger has run_end");
+    let ledger_metrics = run_end.get("metrics").expect("run_end carries metrics");
+    assert!(ledger_metrics.get("serve.request.us").is_some());
+    assert!(ledger_metrics.get("serve.score.batch_size").is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Graceful shutdown with requests still in flight: all clients either
+    // complete or see a clean close, and shutdown() returns.
+    let hammers: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let Ok(mut c) = TcpStream::connect(addr) else {
+                        return;
+                    };
+                    if http_request(&mut c, "POST", "/score", r#"{"pairs":[[1,2]]}"#).is_err() {
+                        return;
+                    }
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(20));
+    server.shutdown();
+    for h in hammers {
+        h.join().expect("client thread survived shutdown");
+    }
+}

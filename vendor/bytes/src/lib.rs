@@ -88,8 +88,18 @@ pub trait BufMut {
         self.put_slice(&[v]);
     }
 
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
     }
 
@@ -127,8 +137,14 @@ pub trait Buf {
     /// Reads one byte.
     fn get_u8(&mut self) -> u8;
 
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
 
     /// Reads a little-endian `f32`.
     fn get_f32_le(&mut self) -> f32;
@@ -149,11 +165,25 @@ impl Buf for &[u8] {
         v
     }
 
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self[..2]);
+        self.advance(2);
+        u16::from_le_bytes(raw)
+    }
+
     fn get_u32_le(&mut self) -> u32 {
         let mut raw = [0u8; 4];
         raw.copy_from_slice(&self[..4]);
         self.advance(4);
         u32::from_le_bytes(raw)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
     }
 
     fn get_f32_le(&mut self) -> f32 {
