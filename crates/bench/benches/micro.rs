@@ -3,12 +3,22 @@
 //! hypergraph convolution forward/backward, and the sparse kernels they
 //! are built from. These quantify the design choices DESIGN.md calls out
 //! (masked vs unfused sparse products, attention vs plain convolution).
+//!
+//! The final group measures the `ahntp-par` worker pool: each hot kernel
+//! timed serially (1 thread) and in parallel, with the outputs compared
+//! bit-for-bit, emitted both as a markdown table and as machine-readable
+//! `BENCH {json}` lines.
 
+use std::time::Instant;
+
+use ahntp_bench::{print_row, Dataset, Scale};
 use ahntp_data::{DatasetConfig, TrustDataset};
 use ahntp_graph::{motif_adjacency, motif_pagerank, pagerank, Motif, MotifPageRankConfig, PageRankConfig};
 use ahntp_hypergraph::{attribute_hypergroup, pairwise_hypergroup, Hypergraph};
-use ahntp_nn::{AdaptiveHypergraphConv, HypergraphConv, Module, Session};
+use ahntp_nn::{AdaptiveHypergraphConv, HypergraphConv, Module, Session, TrustArtifact};
+use ahntp_serve::TrustIndex;
 use ahntp_tensor::{xavier_uniform, CsrMatrix};
+use ahntp_telemetry::json::Json;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn setup() -> (TrustDataset, Hypergraph) {
@@ -102,9 +112,150 @@ fn bench_sparse_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Best-of-N wall time for one closure, with one untimed warmup.
+fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup: page in inputs, spin up pool workers
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times `compute` serially and in parallel, asserts the results are
+/// bitwise identical, prints one markdown row, and emits a `BENCH` JSON
+/// line. Returns nothing; panics on a determinism violation.
+fn speedup_case(
+    kernel: &str,
+    shape: &str,
+    par_threads: usize,
+    compute: impl Fn() -> Vec<f32>,
+) {
+    const ITERS: usize = 3;
+    ahntp_par::set_threads(1);
+    let serial_out: Vec<u32> = compute().iter().map(|v| v.to_bits()).collect();
+    let serial_s = time_best(ITERS, || {
+        compute();
+    });
+    ahntp_par::set_threads(par_threads);
+    let par_out: Vec<u32> = compute().iter().map(|v| v.to_bits()).collect();
+    let par_s = time_best(ITERS, || {
+        compute();
+    });
+    assert_eq!(
+        serial_out, par_out,
+        "{kernel} {shape}: parallel result differs from serial"
+    );
+    let speedup = serial_s / par_s;
+    print_row(&[
+        kernel.to_string(),
+        shape.to_string(),
+        format!("{:.2}", serial_s * 1e3),
+        format!("{:.2}", par_s * 1e3),
+        format!("{speedup:.2}x"),
+    ]);
+    let line = Json::obj([
+        ("bench", "par_speedup".into()),
+        ("kernel", kernel.into()),
+        ("shape", shape.into()),
+        ("threads", par_threads.into()),
+        (
+            "host_threads",
+            std::thread::available_parallelism().map_or(1, |n| n.get()).into(),
+        ),
+        ("serial_ms", (serial_s * 1e3).into()),
+        ("parallel_ms", (par_s * 1e3).into()),
+        ("speedup", speedup.into()),
+        ("bitwise_identical", true.into()),
+    ]);
+    println!("BENCH {}", line.to_line());
+}
+
+/// Serial-vs-parallel speedup table over the pool-backed kernels. Runs
+/// outside criterion's harness because each case must flip the global
+/// thread count between timings. Parallel thread count comes from
+/// `AHNTP_THREADS` when set above 1, else 4 (wall-clock gains need real
+/// cores; results are bitwise identical regardless).
+fn bench_par_speedup(_c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let old_threads = ahntp_par::threads();
+    let par_threads = if old_threads > 1 { old_threads } else { 4 };
+
+    println!("\n## ahntp-par speedup ({par_threads} threads vs serial, best of 3)\n");
+    print_row(&[
+        "kernel".into(),
+        "shape".into(),
+        "serial (ms)".into(),
+        "parallel (ms)".into(),
+        "speedup".into(),
+    ]);
+    print_row(&["---".into(), "---".into(), "---".into(), "---".into(), "---".into()]);
+
+    // Dense matmul at the canonical 512-cube.
+    let a = xavier_uniform(512, 512, 21);
+    let b = xavier_uniform(512, 512, 22);
+    speedup_case("matmul", "512x512x512", par_threads, || {
+        a.matmul(&b).as_slice().to_vec()
+    });
+
+    // Sparse kernels at Epinions scale: the trust adjacency and the
+    // hypergraph incidence aggregation that dominate training steps.
+    let ds = Dataset::Epinions.generate(&scale);
+    let adj = ds.graph.adjacency();
+    let n = ds.graph.n();
+    speedup_case("spmm", &format!("adj^2 n={n}"), par_threads, || {
+        let p = adj.spmm(adj);
+        p.values().iter().map(|&v| v as f32).collect()
+    });
+    let attr = attribute_hypergroup(n, &ds.attributes);
+    let pair = pairwise_hypergroup(&ds.graph);
+    let h = Hypergraph::concat(&[&attr, &pair]);
+    let inc: CsrMatrix<f32> = h.incidence();
+    let x = xavier_uniform(h.n_edges(), 64, 23);
+    speedup_case(
+        "mul_dense",
+        &format!("{}x{}@64", h.n_vertices(), h.n_edges()),
+        par_threads,
+        || inc.mul_dense(&x).as_slice().to_vec(),
+    );
+
+    // Top-k trustee retrieval over a synthetic full-size index.
+    let users = 4096;
+    let dim = 64;
+    let heads = |seed| xavier_uniform(users, dim, seed).normalize_rows();
+    let artifact = TrustArtifact {
+        model: "AHNTP".to_string(),
+        fingerprint: 0,
+        calibration: 0.5,
+        n_users: users,
+        emb_dim: dim,
+        head_dim: dim,
+        embeddings: vec![0.0; users * dim],
+        trustor_head: heads(24).as_slice().to_vec(),
+        trustee_head: heads(25).as_slice().to_vec(),
+    };
+    let index = TrustIndex::from_artifact(artifact).expect("synthetic artifact is valid");
+    speedup_case("topk", &format!("k=10 n={users} d={dim}"), par_threads, || {
+        (0..16)
+            .flat_map(|u| {
+                index
+                    .top_k_trustees(u, 10)
+                    .expect("user in range")
+                    .into_iter()
+                    .map(|(v, s)| v as f32 + s)
+            })
+            .collect()
+    });
+
+    ahntp_par::set_threads(old_threads);
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_motif_adjacency, bench_pagerank, bench_hypergraph_conv, bench_sparse_kernels
+    targets = bench_motif_adjacency, bench_pagerank, bench_hypergraph_conv, bench_sparse_kernels,
+        bench_par_speedup
 );
 criterion_main!(benches);

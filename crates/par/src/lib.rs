@@ -1,0 +1,516 @@
+//! Deterministic data-parallel primitives for the AHNTP kernels.
+//!
+//! Every hot path in the reproduction — dense products, sparse
+//! aggregations, the autograd backward passes built on them, and the
+//! serving index scans — is embarrassingly parallel across *output rows*.
+//! This crate supplies the one piece of machinery they share: a
+//! lazily-initialized, persistent worker pool plus three partitioning
+//! primitives ([`par_chunks`], [`par_map`], [`par_join`]).
+//!
+//! # Determinism contract
+//!
+//! The primitives only *distribute* work; they never reorder it. Each
+//! task owns a contiguous band of the output and runs exactly the serial
+//! loop over that band, so every output element is produced by the same
+//! sequence of floating-point operations at any thread count. Kernels
+//! built this way are **bitwise identical** to their serial versions —
+//! which is what keeps autograd gradcheck, checkpoint fingerprints, and
+//! the serving `±1e-6` invariant intact when `AHNTP_THREADS` changes.
+//!
+//! # Sizing
+//!
+//! The pool size is resolved once from `AHNTP_THREADS` (default: the
+//! machine's available parallelism; `1` disables the pool entirely and
+//! every primitive degrades to an exact inline serial loop; `0` means
+//! "auto"). [`set_threads`] overrides it at runtime — the serving stack
+//! plumbs `ServeConfig::threads` through this so deployments can cap
+//! compute threads independently of HTTP workers. Worker threads are
+//! spawned on first parallel use, never before, and parked on a condvar
+//! when idle.
+//!
+//! Small inputs stay serial: kernels gate the parallel path on
+//! [`par_enabled`], which compares an estimated scalar-op count against a
+//! threshold ([`set_par_threshold`] lowers it to 0 in tests so even tiny,
+//! ragged shapes exercise the pool).
+//!
+//! # Telemetry
+//!
+//! `par.tasks` counts tasks executed by the primitives and `par.threads`
+//! gauges the resolved pool size (both via `ahntp-telemetry`, no-ops
+//! while telemetry is off). Kernels additionally count their own
+//! `*.par_calls` when they take the parallel path.
+//!
+//! # Safety
+//!
+//! This is the only crate in the workspace that uses `unsafe`. The pool
+//! executes borrowed closures on persistent threads, which requires
+//! erasing the closure lifetime (exactly the trick scoped-thread
+//! libraries use). Soundness rests on one invariant, enforced by
+//! [`run_tasks`]: the submitting call **blocks until every one of its
+//! tasks has finished** before returning, so no borrow inside a task can
+//! outlive the stack frame that owns the data. The single `unsafe`
+//! expression lives in [`erase_lifetime`] with the full argument.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use ahntp_telemetry::{counter_add, gauge_set};
+
+/// Hard cap on the pool size; protects against `AHNTP_THREADS=1000000`.
+pub const MAX_THREADS: usize = 256;
+
+/// Default work threshold (estimated scalar ops) below which kernels stay
+/// serial: at ~a quarter-million fused ops the serial loop runs long
+/// enough (~100µs) to dwarf the ~10µs dispatch cost.
+pub const DEFAULT_PAR_THRESHOLD: usize = 262_144;
+
+/// Resolved pool size; 0 = not yet resolved.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Work threshold for [`par_enabled`]; usize::MAX sentinel = unset.
+static PAR_THRESHOLD: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// A queued unit of work. `'static` here is a lie told by
+/// [`erase_lifetime`]; see the crate-level Safety section.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Worker threads spawned so far (they are never torn down; surplus
+    /// workers after [`set_threads`] shrinks the pool simply stay parked).
+    workers: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    job_ready: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            workers: 0,
+        }),
+        job_ready: Condvar::new(),
+    })
+}
+
+/// Completion tracking for one submitted batch of tasks.
+struct Batch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload observed in any task of the batch.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// The number of compute threads the primitives will partition across.
+///
+/// Resolved once from `AHNTP_THREADS` (malformed values warn and fall
+/// back; `0` or unset means the machine's available parallelism), then
+/// cached. [`set_threads`] overrides the cached value.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let resolved = resolve_threads_from_env();
+            // Racing initializers compute the same value, so a lost race
+            // is harmless either way.
+            let _ = THREADS.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed);
+            let now = THREADS.load(Ordering::Relaxed);
+            gauge_set("par.threads", now as f64);
+            now
+        }
+        n => n,
+    }
+}
+
+fn resolve_threads_from_env() -> usize {
+    let auto = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let n = ahntp_telemetry::env_parse("AHNTP_THREADS", 0usize);
+    let n = if n == 0 { auto } else { n };
+    n.clamp(1, MAX_THREADS)
+}
+
+/// Overrides the pool size (clamped to `1..=`[`MAX_THREADS`]). `1` makes
+/// every primitive run inline and serially. Shrinking after workers have
+/// spawned leaves the surplus parked; growing spawns more on demand.
+pub fn set_threads(n: usize) {
+    let n = n.clamp(1, MAX_THREADS);
+    THREADS.store(n, Ordering::Relaxed);
+    gauge_set("par.threads", n as f64);
+}
+
+/// Current parallelism threshold (estimated scalar ops); see
+/// [`par_enabled`].
+pub fn par_threshold() -> usize {
+    match PAR_THRESHOLD.load(Ordering::Relaxed) {
+        usize::MAX => DEFAULT_PAR_THRESHOLD,
+        t => t,
+    }
+}
+
+/// Overrides the work threshold of [`par_enabled`]. `0` forces every
+/// gated kernel onto the parallel path regardless of size — the
+/// determinism tests use this to exercise ragged shapes smaller than the
+/// thread count.
+pub fn set_par_threshold(threshold: usize) {
+    // usize::MAX is the "unset" sentinel; an explicit MAX means "never".
+    PAR_THRESHOLD.store(threshold, Ordering::Relaxed);
+}
+
+/// Whether a kernel expecting `work` scalar operations should take its
+/// parallel path: more than one thread and enough work to amortize the
+/// dispatch. Results are bitwise identical either way, so this gate is
+/// purely a performance decision.
+#[inline]
+pub fn par_enabled(work: usize) -> bool {
+    threads() > 1 && work >= par_threshold()
+}
+
+/// Contiguous band length that splits `n` items across the pool: the
+/// smallest size giving at most [`threads`] bands. Always ≥ 1.
+#[inline]
+pub fn band_size(n: usize) -> usize {
+    n.div_ceil(threads()).max(1)
+}
+
+/// Erases the lifetime of a boxed task so it can sit in the `'static`
+/// worker queue.
+///
+/// # Safety
+///
+/// The caller must not return (or unwind past) the stack frame owning
+/// data borrowed by `job` until the job has finished executing.
+/// [`run_tasks`] upholds this by blocking on the batch's completion
+/// condvar — covering its own early-exit paths too — before returning.
+unsafe fn erase_lifetime<'a>(job: Box<dyn FnOnce() + Send + 'a>) -> Job {
+    // SAFETY: a trait-object Box has the same layout regardless of the
+    // closure's lifetime parameter; the caller guarantees the referent
+    // outlives the job's execution (see above).
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(job) }
+}
+
+/// Runs a set of borrowed tasks to completion across the pool.
+///
+/// Tasks may run on any worker or on the calling thread (the caller
+/// "helps" by draining the shared queue instead of idling), but this
+/// function only returns once every task has finished — the invariant
+/// that makes lending borrowed closures to persistent threads sound. If a
+/// task panics, the batch still runs to completion and the first panic
+/// payload is re-raised on the caller.
+///
+/// With one configured thread, or a single task, everything runs inline
+/// in submission order: the exact serial fallback.
+fn run_tasks<'a>(tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+    let n = tasks.len();
+    if n == 0 {
+        return;
+    }
+    counter_add("par.tasks", n as u64);
+    if n == 1 || threads() == 1 {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+
+    let pool = pool();
+    ensure_workers(pool, threads() - 1);
+
+    let batch = Arc::new(Batch {
+        remaining: Mutex::new(n),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    {
+        let mut state = pool.state.lock().unwrap();
+        for task in tasks {
+            let batch = Arc::clone(&batch);
+            let wrapped: Box<dyn FnOnce() + Send + 'a> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(task));
+                if let Err(payload) = result {
+                    let mut slot = batch.panic.lock().unwrap();
+                    slot.get_or_insert(payload);
+                }
+                let mut remaining = batch.remaining.lock().unwrap();
+                *remaining -= 1;
+                if *remaining == 0 {
+                    batch.done.notify_all();
+                }
+            });
+            // SAFETY: this frame blocks below until `batch.remaining`
+            // hits zero, so every borrow captured by `wrapped` outlives
+            // its execution.
+            state.queue.push_back(unsafe { erase_lifetime(wrapped) });
+        }
+        pool.job_ready.notify_all();
+    }
+
+    // Help: drain jobs (ours or a concurrent batch's) instead of idling.
+    loop {
+        let job = pool.state.lock().unwrap().queue.pop_front();
+        match job {
+            Some(job) => job(),
+            None => break,
+        }
+    }
+    // Wait for workers still mid-task.
+    let mut remaining = batch.remaining.lock().unwrap();
+    while *remaining > 0 {
+        remaining = batch.done.wait(remaining).unwrap();
+    }
+    drop(remaining);
+    let payload = batch.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Spawns parked workers until `target` exist. Workers live for the
+/// process; they hold no resources while idle beyond a parked thread.
+fn ensure_workers(pool: &'static Pool, target: usize) {
+    let mut state = pool.state.lock().unwrap();
+    while state.workers < target {
+        let id = state.workers;
+        std::thread::Builder::new()
+            .name(format!("ahntp-par-{id}"))
+            .spawn(move || worker_loop(pool))
+            .expect("ahntp-par: failed to spawn worker thread");
+        state.workers += 1;
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut state = pool.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                state = pool.job_ready.wait(state).unwrap();
+            }
+        };
+        // Panics are caught inside the batch wrapper, so a poisoned task
+        // cannot take the worker down with it.
+        job();
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+pub fn par_join<RA, RB>(
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    run_tasks(vec![
+        Box::new(|| ra = Some(a())),
+        Box::new(|| rb = Some(b())),
+    ]);
+    (
+        ra.expect("par_join: first task completed"),
+        rb.expect("par_join: second task completed"),
+    )
+}
+
+/// Splits `data` into contiguous chunks of `chunk_len` elements (the last
+/// may be shorter) and runs `f(chunk_index, chunk)` across the pool.
+///
+/// Each element belongs to exactly one chunk and each chunk to exactly
+/// one task, so writes need no synchronization and the result is
+/// identical at any thread count as long as `f` itself is deterministic
+/// per `(chunk_index, chunk)`.
+pub fn par_chunks<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+        .chunks_mut(chunk_len.max(1))
+        .enumerate()
+        .map(|(i, chunk)| Box::new(move || f(i, chunk)) as Box<dyn FnOnce() + Send + '_>)
+        .collect();
+    run_tasks(tasks);
+}
+
+/// Computes `f(0), f(1), …, f(n-1)` across the pool, returning results in
+/// index order.
+pub fn par_map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .iter_mut()
+        .enumerate()
+        .map(|(i, slot)| Box::new(move || *slot = Some(f(i))) as Box<dyn FnOnce() + Send + '_>)
+        .collect();
+    run_tasks(tasks);
+    out.into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("par_map: task {i} did not run")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests in this file mutate the global pool size; funnel them
+    /// through one lock so they don't fight (other test binaries get
+    /// their own process).
+    fn with_threads(n: usize, f: impl FnOnce()) {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let before = threads();
+        set_threads(n);
+        let result = catch_unwind(AssertUnwindSafe(f));
+        set_threads(before);
+        if let Err(p) = result {
+            resume_unwind(p);
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for t in [1, 2, 7] {
+            with_threads(t, || {
+                let out = par_map(100, |i| i * i);
+                assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+            });
+        }
+    }
+
+    #[test]
+    fn par_chunks_touches_every_element_once() {
+        for t in [1, 3, 8] {
+            with_threads(t, || {
+                let mut data = vec![0u32; 1003];
+                par_chunks(&mut data, 97, |ci, chunk| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v += (ci * 97 + j) as u32 + 1;
+                    }
+                });
+                for (i, &v) in data.iter().enumerate() {
+                    assert_eq!(v, i as u32 + 1, "element {i} written wrongly");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn par_chunks_handles_ragged_and_empty() {
+        with_threads(7, || {
+            // Fewer items than threads.
+            let mut tiny = vec![1i64, 2, 3];
+            par_chunks(&mut tiny, 1, |_, chunk| chunk[0] *= 10);
+            assert_eq!(tiny, vec![10, 20, 30]);
+            // Empty input is a no-op.
+            let mut empty: Vec<i64> = Vec::new();
+            par_chunks(&mut empty, 4, |_, _| panic!("no chunks expected"));
+        });
+    }
+
+    #[test]
+    fn par_join_returns_both() {
+        with_threads(4, || {
+            let xs = [1, 2, 3, 4];
+            let (a, b) = par_join(|| xs.iter().sum::<i32>(), || xs.len());
+            assert_eq!((a, b), (10, 4));
+        });
+    }
+
+    #[test]
+    fn single_thread_runs_inline_without_pool() {
+        with_threads(1, || {
+            // Would deadlock if dispatched to a pool of zero workers
+            // without the caller-helps loop; inline execution also keeps
+            // submission order.
+            let order = Mutex::new(Vec::new());
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..5)
+                .map(|i| {
+                    let order = &order;
+                    Box::new(move || order.lock().unwrap().push(i)) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            run_tasks(tasks);
+            assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn panics_propagate_and_pool_survives() {
+        with_threads(4, || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                par_map(8, |i| {
+                    if i == 3 {
+                        panic!("task 3 exploded");
+                    }
+                    i
+                })
+            }));
+            assert!(result.is_err(), "panic must reach the caller");
+            // The pool keeps working after a panicked batch.
+            assert_eq!(par_map(4, |i| i + 1), vec![1, 2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        with_threads(2, || {
+            let out = par_map(4, |i| par_map(4, move |j| i * 4 + j).iter().sum::<usize>());
+            assert_eq!(out, vec![6, 22, 38, 54]);
+        });
+    }
+
+    #[test]
+    fn band_size_covers_all_items() {
+        with_threads(7, || {
+            for n in [0usize, 1, 3, 6, 7, 8, 100] {
+                let band = band_size(n);
+                assert!(band >= 1);
+                assert!(band * 7 >= n, "bands too small for n={n}");
+            }
+        });
+    }
+
+    #[test]
+    fn threshold_gates_par_enabled() {
+        with_threads(4, || {
+            let before = par_threshold();
+            set_par_threshold(1000);
+            assert!(!par_enabled(999));
+            assert!(par_enabled(1000));
+            set_par_threshold(0);
+            assert!(par_enabled(0));
+            set_par_threshold(before);
+        });
+    }
+
+    #[test]
+    fn one_thread_disables_par_enabled() {
+        with_threads(1, || {
+            assert!(!par_enabled(usize::MAX));
+        });
+    }
+}

@@ -5,11 +5,18 @@
 //! L2-normalised, so `score(u, v)` is one `O(d)` dot product followed by
 //! the trainer's calibrated sigmoid, and `top_k_trustees` is a single
 //! heap-tracked scan over all candidate rows.
+//!
+//! Big batches and big candidate scans are split across the `ahntp-par`
+//! worker pool: each pair/candidate is scored by exactly one task with
+//! the serial arithmetic, and the per-band top-k heaps merge under the
+//! same total order the serial heap uses, so results are bitwise
+//! identical to serial at any thread count.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use ahntp_nn::{ArtifactError, TrustArtifact};
+use ahntp_telemetry::counter_add;
 
 /// Errors from scoring queries against a [`TrustIndex`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,7 +160,45 @@ impl TrustIndex {
             self.check(u)?;
             self.check(v)?;
         }
+        if ahntp_par::par_enabled(2 * pairs.len() * self.artifact.head_dim) && pairs.len() >= 2
+        {
+            counter_add("serve.score_pairs.par_calls", 1);
+            let mut out = vec![0.0f32; pairs.len()];
+            let band = ahntp_par::band_size(pairs.len());
+            ahntp_par::par_chunks(&mut out, band, |ci, chunk| {
+                let off = ci * band;
+                for (i, o) in chunk.iter_mut().enumerate() {
+                    let (u, v) = pairs[off + i];
+                    *o = self.calibrated(self.dot(u, v));
+                }
+            });
+            return Ok(out);
+        }
         Ok(pairs.iter().map(|&(u, v)| self.calibrated(self.dot(u, v))).collect())
+    }
+
+    /// Heap-tracked scan over the candidate band `c0..c1` (excluding
+    /// `trustor`): the best `k` raw-dot candidates, in no particular
+    /// order. Candidate sets are banding-independent because [`Ranked`]
+    /// is a total order over distinct user ids — there are no ties for
+    /// the heap to break arbitrarily.
+    fn top_k_band(&self, trustor: usize, k: usize, c0: usize, c1: usize) -> Vec<Ranked> {
+        let mut heap: BinaryHeap<Reverse<Ranked>> = BinaryHeap::with_capacity(k + 1);
+        for candidate in c0..c1 {
+            if candidate == trustor {
+                continue;
+            }
+            let score = self.dot(trustor, candidate);
+            if heap.len() < k {
+                heap.push(Reverse(Ranked { score, user: candidate }));
+            } else if let Some(worst) = heap.peek() {
+                if (Ranked { score, user: candidate }) > worst.0 {
+                    heap.pop();
+                    heap.push(Reverse(Ranked { score, user: candidate }));
+                }
+            }
+        }
+        heap.into_iter().map(|Reverse(r)| r).collect()
     }
 
     /// The `k` most-trusted candidate trustees for `trustor` (excluding
@@ -170,28 +215,37 @@ impl TrustIndex {
         k: usize,
     ) -> Result<Vec<(usize, f32)>, ScoreError> {
         self.check(trustor)?;
-        // Min-heap of the best k seen so far; scan once over all rows.
-        let mut heap: BinaryHeap<Reverse<Ranked>> = BinaryHeap::with_capacity(k + 1);
-        for candidate in 0..self.artifact.n_users {
-            if candidate == trustor {
-                continue;
-            }
-            let score = self.dot(trustor, candidate);
-            if heap.len() < k {
-                heap.push(Reverse(Ranked { score, user: candidate }));
-            } else if let Some(worst) = heap.peek() {
-                if (Ranked { score, user: candidate }) > worst.0 {
-                    heap.pop();
-                    heap.push(Reverse(Ranked { score, user: candidate }));
-                }
-            }
-        }
-        let mut out: Vec<(usize, f32)> = heap
+        let n = self.artifact.n_users;
+        let ranked = if ahntp_par::par_enabled(2 * n * self.artifact.head_dim) && n >= 2 {
+            // Band the candidate scan, keep k per band, then select the
+            // global top k from the union. The union is a superset of the
+            // serial heap's survivors and Ranked never ties, so the final
+            // selection is the exact serial candidate set.
+            counter_add("serve.topk.par_calls", 1);
+            let band = ahntp_par::band_size(n);
+            let n_bands = n.div_ceil(band);
+            let mut merged: Vec<Ranked> = ahntp_par::par_map(n_bands, |bi| {
+                let c0 = bi * band;
+                self.top_k_band(trustor, k, c0, (c0 + band).min(n))
+            })
             .into_iter()
-            .map(|Reverse(r)| (r.user, self.calibrated(r.score)))
+            .flatten()
+            .collect();
+            merged.sort_by(|a, b| b.cmp(a));
+            merged.truncate(k);
+            merged
+        } else {
+            self.top_k_band(trustor, k, 0, n)
+        };
+        let mut out: Vec<(usize, f32)> = ranked
+            .into_iter()
+            .map(|r| (r.user, self.calibrated(r.score)))
             .collect();
         // The dot→probability map is monotonic, so sorting by probability
-        // equals sorting by dot product.
+        // equals sorting by dot product — except where calibration rounds
+        // two distinct dots to the same f32, where the id tiebreak takes
+        // over; both paths feed the same candidate set through the same
+        // sort, so the output order is identical either way.
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         Ok(out)
     }
@@ -276,5 +330,74 @@ mod tests {
     #[test]
     fn loading_rejects_garbage_frames() {
         assert!(TrustIndex::load(b"definitely not an artifact").is_err());
+    }
+
+    /// Many-user index with distinct head angles so rankings are
+    /// nontrivial and dots collide only where calibration rounds.
+    fn wide_index(n_users: usize) -> TrustIndex {
+        let row = |i: usize| {
+            let a = i as f32 * 0.37;
+            vec![a.cos(), a.sin()]
+        };
+        let artifact = TrustArtifact {
+            model: "AHNTP".to_string(),
+            fingerprint: 0,
+            calibration: 0.5,
+            n_users,
+            emb_dim: 2,
+            head_dim: 2,
+            embeddings: vec![0.0; n_users * 2],
+            trustor_head: (0..n_users).flat_map(row).collect(),
+            trustee_head: (0..n_users).rev().flat_map(row).collect(),
+        };
+        TrustIndex::from_artifact(artifact).unwrap()
+    }
+
+    #[test]
+    fn parallel_scoring_is_bitwise_identical_to_serial() {
+        let index = wide_index(41); // ragged over every band size below
+        let pairs: Vec<(usize, usize)> =
+            (0..37).map(|i| (i % 41, (i * 7 + 3) % 41)).collect();
+        let old_threshold = ahntp_par::par_threshold();
+        let old_threads = ahntp_par::threads();
+        ahntp_par::set_par_threshold(0); // force the parallel path
+        ahntp_par::set_threads(1);
+        let scores_serial: Vec<u32> = index
+            .score_pairs(&pairs)
+            .unwrap()
+            .iter()
+            .map(|s| s.to_bits())
+            .collect();
+        let topk_serial: Vec<Vec<(usize, u32)>> = (0..41)
+            .map(|u| {
+                index
+                    .top_k_trustees(u, 5)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(v, s)| (v, s.to_bits()))
+                    .collect()
+            })
+            .collect();
+        for t in [2usize, 7] {
+            ahntp_par::set_threads(t);
+            let scores: Vec<u32> = index
+                .score_pairs(&pairs)
+                .unwrap()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            assert_eq!(scores_serial, scores, "score_pairs at {t} threads");
+            for (u, want) in topk_serial.iter().enumerate() {
+                let got: Vec<(usize, u32)> = index
+                    .top_k_trustees(u, 5)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(v, s)| (v, s.to_bits()))
+                    .collect();
+                assert_eq!(want, &got, "top_k_trustees({u}) at {t} threads");
+            }
+        }
+        ahntp_par::set_par_threshold(old_threshold);
+        ahntp_par::set_threads(old_threads);
     }
 }

@@ -23,6 +23,18 @@
 //! request/error counters land in the `ahntp_telemetry` metrics registry,
 //! so `GET /metrics` and the training run ledger share one vocabulary.
 //!
+//! # Threads
+//!
+//! Scoring itself is data-parallel: once a batch or candidate scan is
+//! large enough, [`TrustIndex`] fans it out over the process-wide
+//! `ahntp-par` worker pool (`serve.score_pairs.par_calls` /
+//! `serve.topk.par_calls` count those dispatches). The pool is sized by
+//! the `AHNTP_THREADS` environment variable (unset or `0` = one thread
+//! per core, `1` = plain serial execution); [`ServeConfig::threads`]
+//! overrides it at server startup when nonzero. Banding never reorders
+//! the per-score arithmetic, so responses are bitwise identical at every
+//! thread count.
+//!
 //! ```no_run
 //! use ahntp_serve::{serve, ServeConfig, TrustIndex};
 //!

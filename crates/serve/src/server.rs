@@ -52,6 +52,12 @@ pub struct ServeConfig {
     /// Socket read timeout; bounds how long an idle keep-alive connection
     /// can delay shutdown.
     pub read_timeout: Duration,
+    /// Kernel worker threads for the `ahntp-par` pool that large scoring
+    /// batches and top-k scans fan out over. `0` (the default) leaves the
+    /// process-wide setting alone (`AHNTP_THREADS`, or one thread per
+    /// core); any other value overrides it at startup. Results are
+    /// bitwise identical at every setting.
+    pub threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +69,7 @@ impl Default for ServeConfig {
             batch_wait: Duration::from_millis(2),
             queue_capacity: 1024,
             read_timeout: Duration::from_millis(50),
+            threads: 0,
         }
     }
 }
@@ -237,6 +244,9 @@ impl Drop for ServerHandle {
 ///
 /// Fails when the address cannot be bound.
 pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle> {
+    if config.threads > 0 {
+        ahntp_par::set_threads(config.threads);
+    }
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let index = Arc::new(index);

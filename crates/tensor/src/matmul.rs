@@ -1,4 +1,11 @@
 //! Dense matrix multiplication and transpose.
+//!
+//! The three product kernels are row-partitioned across the `ahntp-par`
+//! worker pool when the estimated FLOP count clears
+//! `ahntp_par::par_enabled`. Each output row is owned by exactly one task
+//! and accumulated in the same `k`-ascending order (with the same
+//! zero-skip tests) as the serial loop, so parallel results are bitwise
+//! identical to serial ones at any thread count.
 
 use ahntp_telemetry::counter_add;
 
@@ -6,19 +13,96 @@ use crate::{Shape, Tensor};
 
 /// Records one dense-product invocation in the global metrics registry.
 /// `counter_add` is a no-op (one relaxed load) while telemetry is off.
+/// The per-kernel counter name is interned at compile time so hot kernels
+/// never allocate for metrics.
 #[inline]
-fn record_matmul(kernel: &str, m: usize, n: usize, k: usize) {
+fn record_matmul(kernel_calls: &'static str, m: usize, n: usize, k: usize) {
     if !ahntp_telemetry::enabled() {
         return;
     }
     counter_add("tensor.matmul.calls", 1);
-    counter_add(&format!("tensor.{kernel}.calls"), 1);
+    counter_add(kernel_calls, 1);
     // Upper bound: zero-skip makes the realised count data-dependent.
     counter_add("tensor.matmul.flops", 2 * (m * n * k) as u64);
     counter_add(
         "tensor.alloc.bytes",
         (m * n * std::mem::size_of::<f32>()) as u64,
     );
+}
+
+/// Counts one parallel-path dispatch for a kernel.
+#[inline]
+pub(crate) fn record_par(par_calls: &'static str) {
+    if ahntp_telemetry::enabled() {
+        counter_add(par_calls, 1);
+    }
+}
+
+/// `matmul` band kernel: fills output rows `row0..row0 + out_band/n` with
+/// the cache-friendly `i-k-j` loop. Used for both the serial whole-matrix
+/// call and each parallel band, so the two paths are the same code.
+fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, out_band: &mut [f32]) {
+    let rows = out_band.len().checked_div(n).unwrap_or(0);
+    for bi in 0..rows {
+        let i = row0 + bi;
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out_band[bi * n..(bi + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue; // feature matrices after ReLU are often sparse
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bkj;
+            }
+        }
+    }
+}
+
+/// `t_matmul` band kernel: output row `i` gathers `sum_k A[k][i] * B[k]`
+/// with `k` ascending and the same `a[k][i] == 0` skip as the serial
+/// scatter loop, so per-element accumulation order is identical.
+fn t_matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    kdim: usize,
+    row0: usize,
+    out_band: &mut [f32],
+) {
+    let rows = out_band.len().checked_div(n).unwrap_or(0);
+    for bi in 0..rows {
+        let i = row0 + bi;
+        let out_row = &mut out_band[bi * n..(bi + 1) * n];
+        for kk in 0..kdim {
+            let aki = a[kk * m + i];
+            if aki == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                *o += aki * bkj;
+            }
+        }
+    }
+}
+
+/// `matmul_t` band kernel: plain row-dot-row products.
+fn matmul_t_rows(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, out_band: &mut [f32]) {
+    let rows = out_band.len().checked_div(n).unwrap_or(0);
+    for bi in 0..rows {
+        let i = row0 + bi;
+        let a_row = &a[(row0 + bi) * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            out_band[bi * n + j] = acc;
+        }
+    }
 }
 
 impl Tensor {
@@ -29,7 +113,8 @@ impl Tensor {
     /// as `n x 1`), and the result is demoted back to a vector when one side
     /// was a vector. Uses the cache-friendly `i-k-j` loop order, which is
     /// within a small factor of BLAS for the ≤512-wide matrices this model
-    /// uses.
+    /// uses; large products are row-partitioned across the worker pool with
+    /// bitwise-identical results.
     ///
     /// # Panics
     ///
@@ -47,23 +132,19 @@ impl Tensor {
             other.shape()
         );
         let k = k1;
-        record_matmul("matmul", m, n, k);
+        record_matmul("tensor.matmul.calls", m, n, k);
         let mut out = vec![0.0f32; m * n];
         let a = &self.data;
         // When `other` is a vector we can index it directly as a column.
         let b = &other.data;
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue; // feature matrices after ReLU are often sparse
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &bkj) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bkj;
-                }
-            }
+        if ahntp_par::par_enabled(2 * m * n * k) && m >= 2 {
+            record_par("tensor.matmul.par_calls");
+            let band = ahntp_par::band_size(m);
+            ahntp_par::par_chunks(&mut out, band * n, |ci, chunk| {
+                matmul_rows(a, b, k, n, ci * band, chunk);
+            });
+        } else {
+            matmul_rows(a, b, k, n, 0, &mut out);
         }
         let shape = match (self.shape(), other.shape()) {
             (Shape::Vector(_), Shape::Matrix(_, c)) => Shape::Vector(c),
@@ -85,18 +166,31 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        record_matmul("t_matmul", m, n, k1);
+        record_matmul("tensor.t_matmul.calls", m, n, k1);
         let mut out = vec![0.0f32; m * n];
-        for kk in 0..k1 {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &bkj) in out_row.iter_mut().zip(b_row) {
-                    *o += aki * bkj;
+        if ahntp_par::par_enabled(2 * m * n * k1) && m >= 2 {
+            // Gather form: each task owns a band of output rows and walks
+            // k ascending, matching the serial scatter's per-element
+            // accumulation order exactly.
+            record_par("tensor.t_matmul.par_calls");
+            let (a, b) = (&self.data, &other.data);
+            let band = ahntp_par::band_size(m);
+            ahntp_par::par_chunks(&mut out, band * n, |ci, chunk| {
+                t_matmul_rows(a, b, m, n, k1, ci * band, chunk);
+            });
+        } else {
+            // Serial scatter: k-outer keeps both operands streaming.
+            for kk in 0..k1 {
+                let a_row = &self.data[kk * m..(kk + 1) * m];
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (i, &aki) in a_row.iter().enumerate() {
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out[i * n..(i + 1) * n];
+                    for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                        *o += aki * bkj;
+                    }
                 }
             }
         }
@@ -118,18 +212,17 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        record_matmul("matmul_t", m, n, k1);
+        record_matmul("tensor.matmul_t.calls", m, n, k1);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = self.row(i);
-            for j in 0..n {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&x, &y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
-                }
-                out[i * n + j] = acc;
-            }
+        let (a, b) = (&self.data, &other.data);
+        if ahntp_par::par_enabled(2 * m * n * k1) && m >= 2 {
+            record_par("tensor.matmul_t.par_calls");
+            let band = ahntp_par::band_size(m);
+            ahntp_par::par_chunks(&mut out, band * n, |ci, chunk| {
+                matmul_t_rows(a, b, k1, n, ci * band, chunk);
+            });
+        } else {
+            matmul_t_rows(a, b, k1, n, 0, &mut out);
         }
         Tensor {
             data: out,

@@ -1,5 +1,14 @@
 //! Element-wise arithmetic and broadcasting.
+//!
+//! The element-wise kernels band their (embarrassingly parallel) output
+//! across the `ahntp-par` pool once the element count clears
+//! `ahntp_par::par_enabled`. Every element is written by exactly one task
+//! with the same per-element expression as the serial loop, so parallel
+//! results are bitwise identical at any thread count. Closures therefore
+//! need `Sync`; every mapper in this codebase is a pure function, so the
+//! bound is free.
 
+use crate::matmul::record_par;
 use crate::{Shape, Tensor};
 
 #[inline]
@@ -15,32 +24,51 @@ fn assert_same_shape(op: &str, a: &Tensor, b: &Tensor) {
 
 impl Tensor {
     /// Applies `f` to every element, returning a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&v| f(v)).collect(),
-            shape: self.shape,
-        }
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
     }
 
     /// Applies `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let n = self.data.len();
+        if ahntp_par::par_enabled(n) {
+            record_par("tensor.map.par_calls");
+            let band = ahntp_par::band_size(n);
+            ahntp_par::par_chunks(&mut self.data, band, |_, chunk| {
+                for v in chunk {
+                    *v = f(*v);
+                }
+            });
+        } else {
+            for v in &mut self.data {
+                *v = f(*v);
+            }
         }
     }
 
     /// Element-wise combination of two same-shape tensors.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_same_shape("zip", self, other);
-        Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-            shape: self.shape,
+        let mut out = self.clone();
+        let n = out.data.len();
+        if ahntp_par::par_enabled(n) {
+            record_par("tensor.zip.par_calls");
+            let band = ahntp_par::band_size(n);
+            let b = &other.data;
+            ahntp_par::par_chunks(&mut out.data, band, |ci, chunk| {
+                let off = ci * band;
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = f(*v, b[off + i]);
+                }
+            });
+        } else {
+            for (v, &bv) in out.data.iter_mut().zip(&other.data) {
+                *v = f(*v, bv);
+            }
         }
+        out
     }
 
     /// `self + other` (same shape).
@@ -80,8 +108,21 @@ impl Tensor {
     /// `self += other * alpha` (axpy), in place. The optimizer hot path.
     pub fn axpy_inplace(&mut self, alpha: f32, other: &Tensor) {
         assert_same_shape("axpy_inplace", self, other);
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
+        let n = self.data.len();
+        if ahntp_par::par_enabled(n) {
+            record_par("tensor.axpy.par_calls");
+            let band = ahntp_par::band_size(n);
+            let b = &other.data;
+            ahntp_par::par_chunks(&mut self.data, band, |ci, chunk| {
+                let off = ci * band;
+                for (i, a) in chunk.iter_mut().enumerate() {
+                    *a += alpha * b[off + i];
+                }
+            });
+        } else {
+            for (a, &b) in self.data.iter_mut().zip(&other.data) {
+                *a += alpha * b;
+            }
         }
     }
 
@@ -96,10 +137,23 @@ impl Tensor {
         );
         let mut out = self.clone();
         let cols = self.cols();
-        for r in 0..self.rows() {
-            let base = r * cols;
-            for c in 0..cols {
-                out.data[base + c] += row.data[c];
+        if ahntp_par::par_enabled(out.data.len()) && self.rows() >= 2 {
+            record_par("tensor.add_row_broadcast.par_calls");
+            let band = ahntp_par::band_size(self.rows());
+            let bias = &row.data;
+            ahntp_par::par_chunks(&mut out.data, band * cols, |_, chunk| {
+                for band_row in chunk.chunks_mut(cols) {
+                    for (v, &b) in band_row.iter_mut().zip(bias) {
+                        *v += b;
+                    }
+                }
+            });
+        } else {
+            for r in 0..self.rows() {
+                let base = r * cols;
+                for c in 0..cols {
+                    out.data[base + c] += row.data[c];
+                }
             }
         }
         out
@@ -116,10 +170,25 @@ impl Tensor {
         );
         let mut out = self.clone();
         let cols = self.cols();
-        for r in 0..self.rows() {
-            let s = col.data[r];
-            for v in &mut out.data[r * cols..(r + 1) * cols] {
-                *v *= s;
+        if ahntp_par::par_enabled(out.data.len()) && self.rows() >= 2 {
+            record_par("tensor.scale_rows.par_calls");
+            let band = ahntp_par::band_size(self.rows());
+            let scales = &col.data;
+            ahntp_par::par_chunks(&mut out.data, band * cols, |ci, chunk| {
+                let row0 = ci * band;
+                for (bi, band_row) in chunk.chunks_mut(cols).enumerate() {
+                    let s = scales[row0 + bi];
+                    for v in band_row {
+                        *v *= s;
+                    }
+                }
+            });
+        } else {
+            for r in 0..self.rows() {
+                let s = col.data[r];
+                for v in &mut out.data[r * cols..(r + 1) * cols] {
+                    *v *= s;
+                }
             }
         }
         out

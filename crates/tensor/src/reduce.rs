@@ -1,5 +1,14 @@
 //! Reductions, norms, and row-wise softmax.
+//!
+//! Row-wise reductions (`row_sums`, `row_norms`, `softmax_rows`,
+//! `normalize_rows`) band their output rows across the `ahntp-par` pool:
+//! each row is reduced by exactly one task in the serial order, so results
+//! are bitwise identical at any thread count. Whole-tensor scalar
+//! reductions (`sum`, `mean`, `frobenius_norm`, `col_sums`, …) stay serial
+//! on purpose — splitting them would change the accumulation order and
+//! therefore the rounding.
 
+use crate::matmul::record_par;
 use crate::{Shape, Tensor};
 
 impl Tensor {
@@ -30,9 +39,21 @@ impl Tensor {
     /// Per-row sums as a vector of length `rows`.
     pub fn row_sums(&self) -> Tensor {
         let cols = self.cols();
-        let mut out = Vec::with_capacity(self.rows());
-        for r in 0..self.rows() {
-            out.push(self.data[r * cols..(r + 1) * cols].iter().sum());
+        let mut out = vec![0.0f32; self.rows()];
+        if ahntp_par::par_enabled(self.data.len()) && self.rows() >= 2 {
+            record_par("tensor.row_sums.par_calls");
+            let band = ahntp_par::band_size(self.rows());
+            ahntp_par::par_chunks(&mut out, band, |ci, chunk| {
+                let row0 = ci * band;
+                for (bi, o) in chunk.iter_mut().enumerate() {
+                    let r = row0 + bi;
+                    *o = self.data[r * cols..(r + 1) * cols].iter().sum();
+                }
+            });
+        } else {
+            for (r, o) in out.iter_mut().enumerate() {
+                *o = self.data[r * cols..(r + 1) * cols].iter().sum();
+            }
         }
         Tensor {
             data: out,
@@ -58,13 +79,26 @@ impl Tensor {
     /// Per-row Euclidean norms as a vector of length `rows`.
     pub fn row_norms(&self) -> Tensor {
         let cols = self.cols();
-        let mut out = Vec::with_capacity(self.rows());
-        for r in 0..self.rows() {
-            let s: f32 = self.data[r * cols..(r + 1) * cols]
+        let norm_of_row = |r: usize| -> f32 {
+            self.data[r * cols..(r + 1) * cols]
                 .iter()
                 .map(|&v| v * v)
-                .sum();
-            out.push(s.sqrt());
+                .sum::<f32>()
+                .sqrt()
+        };
+        let mut out = vec![0.0f32; self.rows()];
+        if ahntp_par::par_enabled(self.data.len()) && self.rows() >= 2 {
+            record_par("tensor.row_norms.par_calls");
+            let band = ahntp_par::band_size(self.rows());
+            ahntp_par::par_chunks(&mut out, band, |ci, chunk| {
+                for (bi, o) in chunk.iter_mut().enumerate() {
+                    *o = norm_of_row(ci * band + bi);
+                }
+            });
+        } else {
+            for (r, o) in out.iter_mut().enumerate() {
+                *o = norm_of_row(r);
+            }
         }
         Tensor {
             data: out,
@@ -80,9 +114,7 @@ impl Tensor {
     /// Numerically-stable row-wise softmax (max-shifted).
     pub fn softmax_rows(&self) -> Tensor {
         let cols = self.cols();
-        let mut out = self.clone();
-        for r in 0..self.rows() {
-            let row = &mut out.data[r * cols..(r + 1) * cols];
+        let softmax_row = |row: &mut [f32]| {
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut z = 0.0f32;
             for v in row.iter_mut() {
@@ -101,6 +133,20 @@ impl Tensor {
                     *v = u;
                 }
             }
+        };
+        let mut out = self.clone();
+        if ahntp_par::par_enabled(2 * out.data.len()) && self.rows() >= 2 {
+            record_par("tensor.softmax_rows.par_calls");
+            let band = ahntp_par::band_size(self.rows());
+            ahntp_par::par_chunks(&mut out.data, band * cols, |_, chunk| {
+                for row in chunk.chunks_mut(cols) {
+                    softmax_row(row);
+                }
+            });
+        } else {
+            for r in 0..self.rows() {
+                softmax_row(&mut out.data[r * cols..(r + 1) * cols]);
+            }
         }
         out
     }
@@ -108,14 +154,26 @@ impl Tensor {
     /// Rows rescaled to unit L2 norm; zero rows are left untouched.
     pub fn normalize_rows(&self) -> Tensor {
         let cols = self.cols();
-        let mut out = self.clone();
-        for r in 0..self.rows() {
-            let row = &mut out.data[r * cols..(r + 1) * cols];
+        let normalize_row = |row: &mut [f32]| {
             let n: f32 = row.iter().map(|&v| v * v).sum::<f32>().sqrt();
             if n > 0.0 {
                 for v in row.iter_mut() {
                     *v /= n;
                 }
+            }
+        };
+        let mut out = self.clone();
+        if ahntp_par::par_enabled(2 * out.data.len()) && self.rows() >= 2 {
+            record_par("tensor.normalize_rows.par_calls");
+            let band = ahntp_par::band_size(self.rows());
+            ahntp_par::par_chunks(&mut out.data, band * cols, |_, chunk| {
+                for row in chunk.chunks_mut(cols) {
+                    normalize_row(row);
+                }
+            });
+        } else {
+            for r in 0..self.rows() {
+                normalize_row(&mut out.data[r * cols..(r + 1) * cols]);
             }
         }
         out

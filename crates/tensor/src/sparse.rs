@@ -21,18 +21,48 @@
 
 use ahntp_telemetry::counter_add;
 
+use crate::matmul::record_par;
 use crate::{Tensor, TensorError};
+
+/// Pre-interned counter names for one sparse kernel, so the hot path never
+/// builds a `format!` string per call.
+struct SparseCounters {
+    calls: &'static str,
+    nnz_in: &'static str,
+    nnz_out: &'static str,
+}
+
+static SPMM_COUNTERS: SparseCounters = SparseCounters {
+    calls: "tensor.spmm.calls",
+    nnz_in: "tensor.spmm.nnz_in",
+    nnz_out: "tensor.spmm.nnz_out",
+};
+static SPMM_MASKED_COUNTERS: SparseCounters = SparseCounters {
+    calls: "tensor.spmm_masked.calls",
+    nnz_in: "tensor.spmm_masked.nnz_in",
+    nnz_out: "tensor.spmm_masked.nnz_out",
+};
+static MUL_DENSE_COUNTERS: SparseCounters = SparseCounters {
+    calls: "tensor.mul_dense.calls",
+    nnz_in: "tensor.mul_dense.nnz_in",
+    nnz_out: "tensor.mul_dense.nnz_out",
+};
+static T_MUL_DENSE_COUNTERS: SparseCounters = SparseCounters {
+    calls: "tensor.t_mul_dense.calls",
+    nnz_in: "tensor.t_mul_dense.nnz_in",
+    nnz_out: "tensor.t_mul_dense.nnz_out",
+};
 
 /// Counts one sparse-kernel invocation and the nonzeros it consumed and
 /// produced. No-op while telemetry is disabled.
 #[inline]
-fn record_sparse(kernel: &str, nnz_in: usize, nnz_out: usize) {
+fn record_sparse(kernel: &SparseCounters, nnz_in: usize, nnz_out: usize) {
     if !ahntp_telemetry::enabled() {
         return;
     }
-    counter_add(&format!("tensor.{kernel}.calls"), 1);
-    counter_add(&format!("tensor.{kernel}.nnz_in"), nnz_in as u64);
-    counter_add(&format!("tensor.{kernel}.nnz_out"), nnz_out as u64);
+    counter_add(kernel.calls, 1);
+    counter_add(kernel.nnz_in, nnz_in as u64);
+    counter_add(kernel.nnz_out, nnz_out as u64);
 }
 
 /// A COO entry `(row, col, value)` used to build [`CsrMatrix`].
@@ -48,6 +78,8 @@ pub trait Scalar:
     + std::ops::Sub<Output = Self>
     + std::ops::Mul<Output = Self>
     + std::ops::AddAssign
+    + Send
+    + Sync
     + 'static
 {
     /// Additive identity.
@@ -520,23 +552,27 @@ impl<T: Scalar> CsrMatrix<T> {
         self.map_values(|v| v * s)
     }
 
-    /// Gustavson sparse·sparse product `self @ other`.
-    pub fn spmm(&self, other: &CsrMatrix<T>) -> CsrMatrix<T> {
-        assert_eq!(
-            self.cols, other.rows,
-            "CsrMatrix::spmm: inner dimensions disagree: {}x{} @ {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
+    /// Gustavson kernel over the row band `r0..r1`; returns the band's
+    /// column indices and values plus the stored-entry count of each row.
+    /// Per-row output is independent of the banding (each row accumulates
+    /// in the same entry order and emits columns sorted), so stitching the
+    /// bands back together reproduces the serial product bitwise.
+    fn spmm_band(
+        &self,
+        other: &CsrMatrix<T>,
+        r0: usize,
+        r1: usize,
+    ) -> (Vec<usize>, Vec<usize>, Vec<T>) {
         let n = other.cols;
-        let mut row_ptr = Vec::with_capacity(self.rows + 1);
-        row_ptr.push(0usize);
+        let mut row_lens = Vec::with_capacity(r1 - r0);
         let mut col_idx: Vec<usize> = Vec::new();
         let mut values: Vec<T> = Vec::new();
         // Dense accumulator + occupancy markers: classic Gustavson.
         let mut acc: Vec<T> = vec![T::ZERO; n];
         let mut seen = vec![false; n];
         let mut touched: Vec<usize> = Vec::new();
-        for i in 0..self.rows {
+        for i in r0..r1 {
+            let before = col_idx.len();
             for (k, vik) in self.row_entries(i) {
                 for (j, vkj) in other.row_entries(k) {
                     if !seen[j] {
@@ -554,12 +590,64 @@ impl<T: Scalar> CsrMatrix<T> {
                 seen[j] = false;
             }
             touched.clear();
-            row_ptr.push(col_idx.len());
+            row_lens.push(col_idx.len() - before);
         }
-        record_sparse("spmm", self.nnz() + other.nnz(), col_idx.len());
+        (row_lens, col_idx, values)
+    }
+
+    /// Gustavson sparse·sparse product `self @ other`. Large products are
+    /// row-banded across the worker pool and the per-band CSR fragments
+    /// stitched back together; results are bitwise identical to serial.
+    pub fn spmm(&self, other: &CsrMatrix<T>) -> CsrMatrix<T> {
+        assert_eq!(
+            self.cols, other.rows,
+            "CsrMatrix::spmm: inner dimensions disagree: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        // Exact multiply-add count: one pass over our entries, each fanning
+        // out to a row of `other`. Only worth computing when a pool exists.
+        let par = ahntp_par::threads() > 1 && self.rows >= 2 && {
+            let mut flops = 0usize;
+            for &k in &self.col_idx {
+                flops += other.row_nnz(k);
+            }
+            ahntp_par::par_enabled(2 * flops)
+        };
+        let (row_ptr, col_idx, values) = if par {
+            record_par("tensor.spmm.par_calls");
+            let band = ahntp_par::band_size(self.rows);
+            let n_bands = self.rows.div_ceil(band);
+            let parts = ahntp_par::par_map(n_bands, |bi| {
+                let r0 = bi * band;
+                let r1 = (r0 + band).min(self.rows);
+                self.spmm_band(other, r0, r1)
+            });
+            let total: usize = parts.iter().map(|(_, c, _)| c.len()).sum();
+            let mut row_ptr = Vec::with_capacity(self.rows + 1);
+            row_ptr.push(0usize);
+            let mut col_idx = Vec::with_capacity(total);
+            let mut values = Vec::with_capacity(total);
+            for (row_lens, band_cols, band_vals) in parts {
+                for len in row_lens {
+                    row_ptr.push(row_ptr.last().unwrap() + len);
+                }
+                col_idx.extend_from_slice(&band_cols);
+                values.extend_from_slice(&band_vals);
+            }
+            (row_ptr, col_idx, values)
+        } else {
+            let (row_lens, col_idx, values) = self.spmm_band(other, 0, self.rows);
+            let mut row_ptr = Vec::with_capacity(self.rows + 1);
+            row_ptr.push(0usize);
+            for len in row_lens {
+                row_ptr.push(row_ptr.last().unwrap() + len);
+            }
+            (row_ptr, col_idx, values)
+        };
+        record_sparse(&SPMM_COUNTERS, self.nnz() + other.nnz(), col_idx.len());
         CsrMatrix {
             rows: self.rows,
-            cols: n,
+            cols: other.cols,
             row_ptr,
             col_idx,
             values,
@@ -622,7 +710,11 @@ impl<T: Scalar> CsrMatrix<T> {
             }
             row_ptr.push(col_idx.len());
         }
-        record_sparse("spmm_masked", self.nnz() + other.nnz(), col_idx.len());
+        record_sparse(
+            &SPMM_MASKED_COUNTERS,
+            self.nnz() + other.nnz(),
+            col_idx.len(),
+        );
         CsrMatrix {
             rows: self.rows,
             cols: n,
@@ -632,8 +724,31 @@ impl<T: Scalar> CsrMatrix<T> {
         }
     }
 
+    /// Gather kernel shared by [`CsrMatrix::mul_dense`] (both paths) and the
+    /// parallel [`CsrMatrix::t_mul_dense`]: fills output rows starting at
+    /// `row0` with `sum_k self[r][k] * x[k]`, accumulating entries of each
+    /// row in ascending-`k` order (with the same `w == 0` skip everywhere),
+    /// so the result is independent of how rows are banded across tasks.
+    fn gather_rows_into(&self, x: &Tensor, row0: usize, out_band: &mut [f32]) {
+        let cols = x.cols();
+        let rows = out_band.len().checked_div(cols).unwrap_or(0);
+        for bi in 0..rows {
+            let out_row = &mut out_band[bi * cols..(bi + 1) * cols];
+            for (k, v) in self.row_entries(row0 + bi) {
+                let w = v.to_f64() as f32;
+                if w == 0.0 {
+                    continue;
+                }
+                for (o, &xv) in out_row.iter_mut().zip(x.row(k)) {
+                    *o += w * xv;
+                }
+            }
+        }
+    }
+
     /// Sparse·dense product `self @ x` where `x` is an f32 tensor. The
-    /// forward pass of every hypergraph/graph aggregation.
+    /// forward pass of every hypergraph/graph aggregation; output rows are
+    /// banded across the worker pool when large enough.
     pub fn mul_dense(&self, x: &Tensor) -> Tensor {
         assert_eq!(
             self.cols,
@@ -643,28 +758,29 @@ impl<T: Scalar> CsrMatrix<T> {
             self.cols,
             x.shape()
         );
-        record_sparse("mul_dense", self.nnz(), self.nnz() * x.cols());
+        record_sparse(&MUL_DENSE_COUNTERS, self.nnz(), self.nnz() * x.cols());
         let cols = x.cols();
         let mut out = Tensor::zeros(self.rows, cols);
-        for r in 0..self.rows {
-            // Split borrows: write into a scratch row then copy once.
-            let mut acc = vec![0.0f32; cols];
-            for (k, v) in self.row_entries(r) {
-                let w = v.to_f64() as f32;
-                if w == 0.0 {
-                    continue;
-                }
-                for (o, &xv) in acc.iter_mut().zip(x.row(k)) {
-                    *o += w * xv;
-                }
-            }
-            out.row_mut(r).copy_from_slice(&acc);
+        if ahntp_par::par_enabled(2 * self.nnz() * cols) && self.rows >= 2 {
+            record_par("tensor.mul_dense.par_calls");
+            let band = ahntp_par::band_size(self.rows);
+            ahntp_par::par_chunks(&mut out.data, band * cols, |ci, chunk| {
+                self.gather_rows_into(x, ci * band, chunk);
+            });
+        } else {
+            self.gather_rows_into(x, 0, &mut out.data);
         }
         out
     }
 
     /// `selfᵀ @ x` without materialising the transpose — the backward pass
     /// companion to [`CsrMatrix::mul_dense`].
+    ///
+    /// The serial path scatters row-by-row. The parallel path transposes
+    /// first (O(nnz) counting sort) and gathers per output-row band; the
+    /// counting sort emits each transposed row's entries in ascending
+    /// former-row order, which is exactly the order the serial scatter
+    /// visits them in, so both paths are bitwise identical.
     pub fn t_mul_dense(&self, x: &Tensor) -> Tensor {
         assert_eq!(
             self.rows,
@@ -674,9 +790,18 @@ impl<T: Scalar> CsrMatrix<T> {
             self.cols,
             x.shape()
         );
-        record_sparse("t_mul_dense", self.nnz(), self.nnz() * x.cols());
+        record_sparse(&T_MUL_DENSE_COUNTERS, self.nnz(), self.nnz() * x.cols());
         let cols = x.cols();
         let mut out = Tensor::zeros(self.cols, cols);
+        if ahntp_par::par_enabled(2 * self.nnz() * cols) && self.cols >= 2 {
+            record_par("tensor.t_mul_dense.par_calls");
+            let t = self.transpose();
+            let band = ahntp_par::band_size(t.rows);
+            ahntp_par::par_chunks(&mut out.data, band * cols, |ci, chunk| {
+                t.gather_rows_into(x, ci * band, chunk);
+            });
+            return out;
+        }
         for r in 0..self.rows {
             let x_row: Vec<f32> = x.row(r).to_vec();
             for (c, v) in self.row_entries(r) {
@@ -694,7 +819,8 @@ impl<T: Scalar> CsrMatrix<T> {
     }
 
     /// Sparse·vector product in the scalar's own precision (used by the
-    /// f64 PageRank power iteration).
+    /// f64 PageRank power iteration). Each output element is one row dot
+    /// product, so banding the output across the pool changes nothing.
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(
             self.cols,
@@ -705,6 +831,20 @@ impl<T: Scalar> CsrMatrix<T> {
             x.len()
         );
         let mut out = vec![T::ZERO; self.rows];
+        if ahntp_par::par_enabled(2 * self.nnz()) && self.rows >= 2 {
+            record_par("tensor.mul_vec.par_calls");
+            let band = ahntp_par::band_size(self.rows);
+            ahntp_par::par_chunks(&mut out, band, |ci, chunk| {
+                for (bi, o) in chunk.iter_mut().enumerate() {
+                    let mut acc = T::ZERO;
+                    for (c, v) in self.row_entries(ci * band + bi) {
+                        acc += v * x[c];
+                    }
+                    *o = acc;
+                }
+            });
+            return out;
+        }
         for (r, o) in out.iter_mut().enumerate() {
             let mut acc = T::ZERO;
             for (c, v) in self.row_entries(r) {

@@ -1,0 +1,210 @@
+//! Bitwise determinism of every parallelized kernel.
+//!
+//! The `ahntp-par` contract is that banding work across the pool never
+//! changes results — not "close", *bitwise identical* — because every
+//! output element is produced by exactly one task with the serial
+//! accumulation order. These tests force the parallel path (threshold 0)
+//! and compare each kernel at 1, 2, and 7 threads against the serial
+//! result, including ragged shapes with fewer rows than threads.
+//!
+//! Tests in this binary share the process-wide pool configuration, so a
+//! static mutex serializes them.
+
+use std::sync::Mutex;
+
+use ahntp_tensor::{CsrMatrix, Tensor};
+
+static POOL_CONFIG: Mutex<()> = Mutex::new(());
+
+/// Thread counts exercised: serial fallback, even split, and a count
+/// larger than some test shapes' row counts.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Runs `compute` at every thread count with the parallel threshold
+/// forced to zero and asserts the f32 outputs are bitwise identical to
+/// the 1-thread (exact serial) result.
+fn assert_bitwise_stable(what: &str, compute: impl Fn() -> Vec<f32>) {
+    let _guard = POOL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    let old_threshold = ahntp_par::par_threshold();
+    let old_threads = ahntp_par::threads();
+    ahntp_par::set_par_threshold(0);
+    let mut reference: Option<Vec<u32>> = None;
+    for &t in &THREAD_COUNTS {
+        ahntp_par::set_threads(t);
+        let bits: Vec<u32> = compute().iter().map(|v| v.to_bits()).collect();
+        match &reference {
+            None => reference = Some(bits),
+            Some(want) => assert_eq!(
+                want, &bits,
+                "{what}: result at {t} threads differs from serial"
+            ),
+        }
+    }
+    ahntp_par::set_par_threshold(old_threshold);
+    ahntp_par::set_threads(old_threads);
+}
+
+/// Deterministic pseudo-random matrix without pulling in a RNG: values
+/// mix positives, negatives, and exact zeros (to exercise the zero-skip
+/// branches in matmul and the sparse gathers).
+fn dense(rows: usize, cols: usize, salt: u32) -> Tensor {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            if h % 5 == 0 {
+                0.0
+            } else {
+                (h % 1000) as f32 / 500.0 - 1.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data).expect("length matches by construction")
+}
+
+fn sparse(rows: usize, cols: usize, salt: u32) -> CsrMatrix<f32> {
+    CsrMatrix::from_dense(&dense(rows, cols, salt))
+}
+
+/// Shapes chosen so banding is ragged: row counts below, at, and above
+/// the 7-thread band count, plus single-row and tall-thin cases.
+const SHAPES: [(usize, usize, usize); 4] = [
+    (3, 5, 4),   // fewer rows than threads
+    (7, 7, 7),   // exactly one row per band at 7 threads
+    (13, 6, 9),  // ragged final band
+    (40, 17, 8), // several rows per band
+];
+
+#[test]
+fn dense_products_are_bitwise_stable() {
+    for &(m, k, n) in &SHAPES {
+        let a = dense(m, k, 1);
+        let b = dense(k, n, 2);
+        assert_bitwise_stable(&format!("matmul {m}x{k}x{n}"), || {
+            a.matmul(&b).as_slice().to_vec()
+        });
+        let at = dense(k, m, 3);
+        assert_bitwise_stable(&format!("t_matmul {m}x{k}x{n}"), || {
+            at.t_matmul(&b).as_slice().to_vec()
+        });
+        let bt = dense(n, k, 4);
+        assert_bitwise_stable(&format!("matmul_t {m}x{k}x{n}"), || {
+            a.matmul_t(&bt).as_slice().to_vec()
+        });
+    }
+}
+
+#[test]
+fn sparse_kernels_are_bitwise_stable() {
+    for &(m, k, n) in &SHAPES {
+        let s = sparse(m, k, 5);
+        let x = dense(k, n, 6);
+        assert_bitwise_stable(&format!("mul_dense {m}x{k}x{n}"), || {
+            s.mul_dense(&x).as_slice().to_vec()
+        });
+        let y = dense(m, n, 7);
+        assert_bitwise_stable(&format!("t_mul_dense {m}x{k}x{n}"), || {
+            s.t_mul_dense(&y).as_slice().to_vec()
+        });
+        let v: Vec<f32> = (0..k).map(|i| i as f32 * 0.25 - 1.0).collect();
+        assert_bitwise_stable(&format!("mul_vec {m}x{k}"), || s.mul_vec(&v));
+        let t = sparse(k, n, 8);
+        assert_bitwise_stable(&format!("spmm {m}x{k}x{n}"), || {
+            let p = s.spmm(&t);
+            p.validate().expect("spmm output is valid CSR");
+            p.to_dense().as_slice().to_vec()
+        });
+    }
+}
+
+#[test]
+fn spmm_parallel_stitching_preserves_structure() {
+    // Structure (row_ptr / col_idx), not just values, must be banding
+    // independent — the CSR fragments are concatenated across bands.
+    let _guard = POOL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    let old_threshold = ahntp_par::par_threshold();
+    let old_threads = ahntp_par::threads();
+    ahntp_par::set_par_threshold(0);
+    let a = sparse(13, 9, 11);
+    let b = sparse(9, 12, 12);
+    ahntp_par::set_threads(1);
+    let serial = a.spmm(&b);
+    for t in [2, 7] {
+        ahntp_par::set_threads(t);
+        let par = a.spmm(&b);
+        assert_eq!(serial.row_ptr(), par.row_ptr(), "row_ptr at {t} threads");
+        assert_eq!(serial.col_indices(), par.col_indices(), "col_idx at {t} threads");
+        assert_eq!(serial.values(), par.values(), "values at {t} threads");
+    }
+    ahntp_par::set_par_threshold(old_threshold);
+    ahntp_par::set_threads(old_threads);
+}
+
+#[test]
+fn elementwise_ops_are_bitwise_stable() {
+    for &(m, _, n) in &SHAPES {
+        let a = dense(m, n, 13);
+        let b = dense(m, n, 14);
+        assert_bitwise_stable(&format!("map {m}x{n}"), || {
+            a.map(|v| (v * 1.7).tanh()).as_slice().to_vec()
+        });
+        assert_bitwise_stable(&format!("zip {m}x{n}"), || {
+            a.zip(&b, |x, y| x * y + 0.5).as_slice().to_vec()
+        });
+        assert_bitwise_stable(&format!("axpy {m}x{n}"), || {
+            let mut c = a.clone();
+            c.axpy_inplace(-0.3, &b);
+            c.as_slice().to_vec()
+        });
+        let bias = dense(1, n, 15).row(0).to_vec();
+        assert_bitwise_stable(&format!("add_row_broadcast {m}x{n}"), || {
+            a.add_row_broadcast(&Tensor::vector(bias.clone()))
+                .as_slice()
+                .to_vec()
+        });
+        let scales = dense(1, m, 16).row(0).to_vec();
+        assert_bitwise_stable(&format!("scale_rows {m}x{n}"), || {
+            a.scale_rows(&Tensor::vector(scales.clone()))
+                .as_slice()
+                .to_vec()
+        });
+    }
+}
+
+#[test]
+fn row_reductions_are_bitwise_stable() {
+    for &(m, _, n) in &SHAPES {
+        let a = dense(m, n, 17);
+        assert_bitwise_stable(&format!("row_sums {m}x{n}"), || {
+            a.row_sums().as_slice().to_vec()
+        });
+        assert_bitwise_stable(&format!("row_norms {m}x{n}"), || {
+            a.row_norms().as_slice().to_vec()
+        });
+        assert_bitwise_stable(&format!("softmax_rows {m}x{n}"), || {
+            a.softmax_rows().as_slice().to_vec()
+        });
+        assert_bitwise_stable(&format!("normalize_rows {m}x{n}"), || {
+            a.normalize_rows().as_slice().to_vec()
+        });
+    }
+}
+
+#[test]
+fn f64_mul_vec_is_bitwise_stable() {
+    // The PageRank path runs in f64; check that precision too.
+    let _guard = POOL_CONFIG.lock().unwrap_or_else(|e| e.into_inner());
+    let old_threshold = ahntp_par::par_threshold();
+    let old_threads = ahntp_par::threads();
+    ahntp_par::set_par_threshold(0);
+    let s: CsrMatrix<f64> = CsrMatrix::from_dense(&dense(23, 11, 19));
+    let v: Vec<f64> = (0..11).map(|i| f64::from(i as u32) * 0.125 - 0.5).collect();
+    ahntp_par::set_threads(1);
+    let serial: Vec<u64> = s.mul_vec(&v).iter().map(|x| x.to_bits()).collect();
+    for t in [2, 7] {
+        ahntp_par::set_threads(t);
+        let par: Vec<u64> = s.mul_vec(&v).iter().map(|x| x.to_bits()).collect();
+        assert_eq!(serial, par, "f64 mul_vec at {t} threads");
+    }
+    ahntp_par::set_par_threshold(old_threshold);
+    ahntp_par::set_threads(old_threads);
+}
