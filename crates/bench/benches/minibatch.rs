@@ -1,0 +1,141 @@
+//! Mini-batch training cost model: full-batch epochs vs sampled mini-batch
+//! epochs on the same model, reporting wall-clock per epoch and the peak
+//! number of resident operator rows (vertices + hyperedges whose
+//! aggregation rows are materialised at once). Emits one markdown row and
+//! one machine-readable `BENCH {json}` line per configuration.
+//!
+//! The ratio-1.0 row is the exactness anchor: it must train on the same
+//! cached operators as full batch (see tests/minibatch_exactness.rs), so
+//! its epoch time measures pure plan overhead.
+
+use std::time::Instant;
+
+use ahntp::{Ahntp, AhntpConfig};
+use ahntp_bench::{print_row, Dataset, Scale};
+use ahntp_data::{LabeledPair, MiniBatchConfig};
+use ahntp_eval::{BatchPlan, BatchTrustModel, TrustModel};
+use ahntp_telemetry::json::Json;
+
+const ITERS: usize = 3;
+
+/// Best-of-N wall time for one closure, with one untimed warmup.
+fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Number of hyperedges `sample_edges` keeps at `ratio` out of `m` — the
+/// sampler's k = clamp(ceil(ratio·m), 1, m), or all of them at ratio 1.0.
+fn kept(m: usize, ratio: f64) -> usize {
+    if ratio >= 1.0 {
+        m
+    } else {
+        ((ratio * m as f64).ceil() as usize).clamp(1, m)
+    }
+}
+
+struct Case {
+    mode: &'static str,
+    ratio: f64,
+    batch_size: usize,
+    accumulation: usize,
+}
+
+fn run_case(case: &Case, ds_name: &str, n: usize, model: &mut Ahntp, train: &[LabeledPair]) {
+    let (m_node, m_struct) = model.hyperedge_counts();
+    let full_rows = n + m_node + m_struct;
+    let peak_rows = n + kept(m_node, case.ratio) + kept(m_struct, case.ratio);
+
+    let mut epoch = 0u64;
+    let secs = if case.ratio >= 1.0 && case.batch_size == 0 {
+        time_best(ITERS, || {
+            model.train_epoch(train);
+        })
+    } else {
+        let mb = MiniBatchConfig::sampled(case.ratio, case.batch_size, case.accumulation, 7);
+        time_best(ITERS, || {
+            // Plan construction is part of the epoch cost; a fresh epoch
+            // index per call keeps the sampled slices realistic.
+            let plan = BatchPlan::for_epoch(train, &mb, epoch);
+            epoch += 1;
+            model.train_epoch_planned(&plan);
+        })
+    };
+    let epoch_ms = secs * 1e3;
+
+    print_row(&[
+        ds_name.to_string(),
+        case.mode.to_string(),
+        format!("{:.2}", case.ratio),
+        case.batch_size.to_string(),
+        case.accumulation.to_string(),
+        format!("{epoch_ms:.2}"),
+        peak_rows.to_string(),
+        format!("{:.0}%", 100.0 * peak_rows as f64 / full_rows as f64),
+    ]);
+    let line = Json::obj([
+        ("bench", "minibatch_epoch".into()),
+        ("dataset", ds_name.into()),
+        ("mode", case.mode.into()),
+        ("edge_ratio", case.ratio.into()),
+        ("batch_size", case.batch_size.into()),
+        ("accumulation", case.accumulation.into()),
+        ("n_pairs", train.len().into()),
+        ("epoch_ms", epoch_ms.into()),
+        ("peak_resident_rows", peak_rows.into()),
+        ("full_resident_rows", full_rows.into()),
+        ("threads", ahntp_par::threads().into()),
+    ]);
+    println!("BENCH {}", line.to_line());
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Mini-batch vs full-batch epoch cost (best of {ITERS})");
+    println!();
+    print_row(&[
+        "Dataset".into(),
+        "Mode".into(),
+        "Ratio".into(),
+        "Batch".into(),
+        "Accum".into(),
+        "Epoch (ms)".into(),
+        "Peak rows".into(),
+        "vs full".into(),
+    ]);
+    print_row(&vec!["---".into(); 8]);
+
+    let cases = [
+        Case { mode: "full", ratio: 1.0, batch_size: 0, accumulation: 1 },
+        Case { mode: "minibatch", ratio: 1.0, batch_size: 128, accumulation: 1 },
+        Case { mode: "minibatch", ratio: 0.5, batch_size: 128, accumulation: 2 },
+        Case { mode: "minibatch", ratio: 0.25, batch_size: 128, accumulation: 2 },
+    ];
+
+    for dataset in [Dataset::Ciao] {
+        let ds = dataset.generate(&scale);
+        let split = ds.split(0.8, 0.2, 2, scale.seed);
+        let cfg = AhntpConfig {
+            conv_dims: scale.small_dims(),
+            ..AhntpConfig::default()
+        };
+        for case in &cases {
+            // Fresh model per case so every timing starts from the same
+            // initialisation (training mutates the weights).
+            let mut model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+            run_case(case, dataset.name(), ds.graph.n(), &mut model, &split.train);
+        }
+    }
+    println!();
+    println!(
+        "Scale: {} users, threads {} (set AHNTP_USERS_CIAO / AHNTP_THREADS to rescale).",
+        scale.users_ciao,
+        ahntp_par::threads()
+    );
+}

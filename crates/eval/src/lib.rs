@@ -6,9 +6,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod metrics;
 mod trainer;
 
+pub use batch::{
+    train_and_evaluate_minibatch, train_and_evaluate_minibatch_observed, BatchPlan,
+    BatchTrustModel,
+};
 pub use metrics::{auc, binary_metrics, Metrics};
 pub use trainer::{
     train_and_evaluate, train_and_evaluate_observed, EpochStats, EvalReport, LedgerObserver,

@@ -238,6 +238,26 @@ pub fn train_and_evaluate_observed(
     cfg: &TrainConfig,
     observer: &mut dyn TrainObserver,
 ) -> EvalReport {
+    training_loop(model, |m, _epoch| m.train_epoch(train), train, test, cfg, observer)
+}
+
+/// The epoch loop shared by full-batch and mini-batch training: runs
+/// `run_epoch` once per epoch with divergence checks, early stopping,
+/// telemetry, and observer callbacks, then evaluates on both splits.
+///
+/// `run_epoch` decides what an "epoch" means — the full-batch path calls
+/// `TrustModel::train_epoch`, the mini-batch path builds a per-epoch
+/// `BatchPlan` and calls `BatchTrustModel::train_epoch_planned`. Everything
+/// around that call (the loop skeleton) is byte-for-byte shared, which is
+/// what keeps the two trajectories comparable.
+pub(crate) fn training_loop<M: TrustModel + ?Sized>(
+    model: &mut M,
+    mut run_epoch: impl FnMut(&mut M, usize) -> f32,
+    train: &[LabeledPair],
+    test: &[LabeledPair],
+    cfg: &TrainConfig,
+    observer: &mut dyn TrainObserver,
+) -> EvalReport {
     assert!(!train.is_empty() && !test.is_empty(), "empty split");
     let name = model.name();
     ahntp_telemetry::clear_nonfinite();
@@ -249,7 +269,7 @@ pub fn train_and_evaluate_observed(
     let mut epochs_run = 0usize;
     for epoch in 0..cfg.epochs {
         let started = Instant::now();
-        let loss = model.train_epoch(train);
+        let loss = run_epoch(model, epoch);
         let wall_us = started.elapsed().as_micros() as u64;
         if !loss.is_finite() {
             let provenance = ahntp_telemetry::first_nonfinite()

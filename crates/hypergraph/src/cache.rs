@@ -1,0 +1,295 @@
+//! Cached aggregation operators for mini-batch training.
+//!
+//! Building the operator set of [`AggregationOps`] (and the Laplacian) is
+//! the expensive structural part of a training step. The cache owns the
+//! hypergraph, extracts the full operators once, keeps the most recent
+//! hyperedge slice alive across the micro-batches of an epoch, and
+//! invalidates everything when the structure changes.
+
+use crate::{AggregationOps, Hypergraph, HypergraphError};
+use ahntp_tensor::CsrMatrix;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Owns a [`Hypergraph`] plus lazily built, structure-versioned caches of
+/// its aggregation operators:
+///
+/// * the full operator set and Laplacian, built once and shared;
+/// * the operator set / Laplacian of the most recent hyperedge slice,
+///   reused while consecutive requests ask for the same edge ids (the
+///   common case: one slice per epoch, many micro-batches).
+///
+/// Requesting the identity selection returns the cached *full* set — the
+/// sliced construction is bitwise identical there (see
+/// [`AggregationOps::sliced_from`]), so sharing is safe and free.
+///
+/// Structural mutation goes through [`AggregationCache::add_edge`] /
+/// [`AggregationCache::add_weighted_edge`], which clear every cached
+/// operator. Telemetry: `hypergraph.cache.hits` / `.misses` counters and a
+/// `hypergraph.cache.resident_rows` gauge per slice build.
+pub struct AggregationCache {
+    h: Hypergraph,
+    full_inputs: Cached<(CsrMatrix<f32>, CsrMatrix<f32>)>,
+    full: Cached<AggregationOps>,
+    full_lap: Cached<CsrMatrix<f32>>,
+    slice: SliceCached<AggregationOps>,
+    slice_lap: SliceCached<CsrMatrix<f32>>,
+}
+
+/// A lazily-built shared value, absent until first use.
+type Cached<T> = RefCell<Option<Rc<T>>>;
+/// A one-entry slice cache keyed by the sorted hyperedge selection.
+type SliceCached<T> = RefCell<Option<(Vec<usize>, Rc<T>)>>;
+
+impl AggregationCache {
+    /// Wraps a hypergraph; nothing is extracted until first use.
+    pub fn new(h: Hypergraph) -> AggregationCache {
+        AggregationCache {
+            h,
+            full_inputs: RefCell::new(None),
+            full: RefCell::new(None),
+            full_lap: RefCell::new(None),
+            slice: RefCell::new(None),
+            slice_lap: RefCell::new(None),
+        }
+    }
+
+    /// The underlying hypergraph.
+    pub fn hypergraph(&self) -> &Hypergraph {
+        &self.h
+    }
+
+    /// Number of hyperedges (the sampling universe).
+    pub fn n_edges(&self) -> usize {
+        self.h.n_edges()
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.h.n_vertices()
+    }
+
+    /// Adds a unit-weight hyperedge and invalidates every cached operator.
+    ///
+    /// # Errors
+    ///
+    /// As [`Hypergraph::add_edge`].
+    pub fn add_edge(&mut self, members: &[usize]) -> Result<usize, HypergraphError> {
+        let id = self.h.add_edge(members)?;
+        self.invalidate();
+        Ok(id)
+    }
+
+    /// Adds a weighted hyperedge and invalidates every cached operator.
+    ///
+    /// # Errors
+    ///
+    /// As [`Hypergraph::add_weighted_edge`].
+    pub fn add_weighted_edge(
+        &mut self,
+        members: &[usize],
+        weight: f32,
+    ) -> Result<usize, HypergraphError> {
+        let id = self.h.add_weighted_edge(members, weight)?;
+        self.invalidate();
+        Ok(id)
+    }
+
+    /// Drops every cached operator (called automatically on structure
+    /// change).
+    pub fn invalidate(&mut self) {
+        self.full_inputs.borrow_mut().take();
+        self.full.borrow_mut().take();
+        self.full_lap.borrow_mut().take();
+        self.slice.borrow_mut().take();
+        self.slice_lap.borrow_mut().take();
+    }
+
+    /// The full-hypergraph operator set, extracted once.
+    pub fn full_ops(&self) -> Rc<AggregationOps> {
+        if let Some(ops) = self.full.borrow().as_ref() {
+            ahntp_telemetry::counter_add("hypergraph.cache.hits", 1);
+            return Rc::clone(ops);
+        }
+        ahntp_telemetry::counter_add("hypergraph.cache.misses", 1);
+        let ops = Rc::new(AggregationOps::full(&self.h));
+        ahntp_telemetry::gauge_set(
+            "hypergraph.cache.resident_rows",
+            ops.resident_rows() as f64,
+        );
+        *self.full.borrow_mut() = Some(Rc::clone(&ops));
+        ops
+    }
+
+    /// The operator set restricted to `edge_ids`, reusing the previous
+    /// slice when the ids match. The identity selection (every edge, in
+    /// order) short-circuits to [`AggregationCache::full_ops`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge id is out of range.
+    pub fn slice_ops(&self, edge_ids: &[usize]) -> Rc<AggregationOps> {
+        if self.is_identity(edge_ids) {
+            return self.full_ops();
+        }
+        if let Some((ids, ops)) = self.slice.borrow().as_ref() {
+            if ids == edge_ids {
+                ahntp_telemetry::counter_add("hypergraph.cache.hits", 1);
+                return Rc::clone(ops);
+            }
+        }
+        ahntp_telemetry::counter_add("hypergraph.cache.misses", 1);
+        let (inc, v2e) = &*self.full_slice_inputs();
+        let ops = Rc::new(AggregationOps::sliced_from(inc, v2e, edge_ids));
+        ahntp_telemetry::gauge_set(
+            "hypergraph.cache.resident_rows",
+            ops.resident_rows() as f64,
+        );
+        *self.slice.borrow_mut() = Some((edge_ids.to_vec(), Rc::clone(&ops)));
+        ops
+    }
+
+    /// The full-hypergraph Laplacian (Eq. 24), built once.
+    pub fn full_laplacian(&self) -> Rc<CsrMatrix<f32>> {
+        if let Some(lap) = self.full_lap.borrow().as_ref() {
+            ahntp_telemetry::counter_add("hypergraph.cache.hits", 1);
+            return Rc::clone(lap);
+        }
+        ahntp_telemetry::counter_add("hypergraph.cache.misses", 1);
+        let lap = Rc::new(self.h.laplacian());
+        *self.full_lap.borrow_mut() = Some(Rc::clone(&lap));
+        lap
+    }
+
+    /// The Laplacian of the sub-hypergraph induced by `edge_ids`, reusing
+    /// the previous slice when the ids match; the identity selection
+    /// short-circuits to [`AggregationCache::full_laplacian`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge id is out of range.
+    pub fn slice_laplacian(&self, edge_ids: &[usize]) -> Rc<CsrMatrix<f32>> {
+        if self.is_identity(edge_ids) {
+            return self.full_laplacian();
+        }
+        if let Some((ids, lap)) = self.slice_lap.borrow().as_ref() {
+            if ids == edge_ids {
+                ahntp_telemetry::counter_add("hypergraph.cache.hits", 1);
+                return Rc::clone(lap);
+            }
+        }
+        ahntp_telemetry::counter_add("hypergraph.cache.misses", 1);
+        let lap = Rc::new(self.h.laplacian_for_edges(edge_ids));
+        *self.slice_lap.borrow_mut() = Some((edge_ids.to_vec(), Rc::clone(&lap)));
+        lap
+    }
+
+    /// The cached (incidence, v2e) pair slices are cut from.
+    fn full_slice_inputs(&self) -> Rc<(CsrMatrix<f32>, CsrMatrix<f32>)> {
+        if let Some(inputs) = self.full_inputs.borrow().as_ref() {
+            return Rc::clone(inputs);
+        }
+        let inputs = Rc::new((self.h.incidence(), self.h.vertex_to_edge_mean()));
+        *self.full_inputs.borrow_mut() = Some(Rc::clone(&inputs));
+        inputs
+    }
+
+    fn is_identity(&self, edge_ids: &[usize]) -> bool {
+        edge_ids.len() == self.h.n_edges() && edge_ids.iter().enumerate().all(|(i, &e)| i == e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        let mut h = Hypergraph::new(4);
+        h.add_edge(&[0, 1, 2]).expect("valid");
+        h.add_edge(&[2, 3]).expect("valid");
+        h.add_edge(&[0, 3]).expect("valid");
+        h
+    }
+
+    #[test]
+    fn full_ops_are_extracted_once_and_shared() {
+        let cache = AggregationCache::new(sample());
+        let a = cache.full_ops();
+        let b = cache.full_ops();
+        assert!(Rc::ptr_eq(&a, &b), "second request hits the cache");
+        assert!(Rc::ptr_eq(&cache.full_laplacian(), &cache.full_laplacian()));
+    }
+
+    #[test]
+    fn identity_slice_shares_the_full_set() {
+        let cache = AggregationCache::new(sample());
+        let full = cache.full_ops();
+        let id = cache.slice_ops(&[0, 1, 2]);
+        assert!(Rc::ptr_eq(&full, &id), "identity slice is the full set");
+        assert!(id.edge_ids.is_none());
+        let lap = cache.full_laplacian();
+        assert!(Rc::ptr_eq(&lap, &cache.slice_laplacian(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn repeated_slice_requests_hit_the_cache() {
+        let cache = AggregationCache::new(sample());
+        let a = cache.slice_ops(&[2, 0]);
+        let b = cache.slice_ops(&[2, 0]);
+        assert!(Rc::ptr_eq(&a, &b), "same ids → cached slice");
+        let c = cache.slice_ops(&[1]);
+        assert!(!Rc::ptr_eq(&a, &c), "different ids → rebuild");
+        assert_eq!(c.n_edges(), 1);
+        // Slice matches the standalone extraction.
+        let standalone = AggregationOps::sliced(cache.hypergraph(), &[2, 0]);
+        assert_eq!(*cache.slice_ops(&[2, 0]).v2e, *standalone.v2e);
+    }
+
+    #[test]
+    fn structure_change_invalidates_everything() {
+        let mut cache = AggregationCache::new(sample());
+        let before = cache.full_ops();
+        let slice_before = cache.slice_ops(&[0, 1]);
+        cache.add_edge(&[1, 3]).expect("valid");
+        assert_eq!(cache.n_edges(), 4);
+        let after = cache.full_ops();
+        assert!(!Rc::ptr_eq(&before, &after), "full set rebuilt");
+        assert_eq!(after.n_edges(), 4);
+        let slice_after = cache.slice_ops(&[0, 1]);
+        assert!(!Rc::ptr_eq(&slice_before, &slice_after), "slice rebuilt");
+        // The rebuilt slice reflects the new structure: vertex 3 now also
+        // sees the new edge, but the slice only keeps edges {0, 1}.
+        assert_eq!(slice_after.n_edges(), 2);
+    }
+
+    #[test]
+    fn laplacian_slice_matches_direct_computation() {
+        let cache = AggregationCache::new(sample());
+        let lap = cache.slice_laplacian(&[0, 2]);
+        assert_eq!(*lap, cache.hypergraph().laplacian_for_edges(&[0, 2]));
+        // Cached on repeat.
+        assert!(Rc::ptr_eq(&lap, &cache.slice_laplacian(&[0, 2])));
+    }
+
+    #[test]
+    fn cache_counters_move() {
+        ahntp_telemetry::set_enabled(true);
+        let cache = AggregationCache::new(sample());
+        let h0 = ahntp_telemetry::counter_get("hypergraph.cache.hits");
+        let m0 = ahntp_telemetry::counter_get("hypergraph.cache.misses");
+        cache.full_ops();
+        cache.full_ops();
+        cache.slice_ops(&[1, 2]);
+        cache.slice_ops(&[1, 2]);
+        assert_eq!(
+            ahntp_telemetry::counter_get("hypergraph.cache.misses"),
+            m0 + 2,
+            "one miss per distinct build"
+        );
+        assert_eq!(
+            ahntp_telemetry::counter_get("hypergraph.cache.hits"),
+            h0 + 2,
+            "one hit per reuse"
+        );
+    }
+}

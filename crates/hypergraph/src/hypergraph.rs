@@ -265,7 +265,33 @@ impl Hypergraph {
     /// Vertices with no incident hyperedge contribute an identity row
     /// (their `D_vv^{-1/2}` is taken as 0, the usual convention).
     pub fn laplacian(&self) -> CsrMatrix<f32> {
-        let dv = self.vertex_degrees();
+        let ids: Vec<usize> = (0..self.n_edges()).collect();
+        self.laplacian_for_edges(&ids)
+    }
+
+    /// The Laplacian of the sub-hypergraph induced by the given hyperedges
+    /// (same vertex set; only the listed edges contribute). Degrees are
+    /// recomputed over the subset, so with the identity selection this is
+    /// exactly [`Hypergraph::laplacian`] — accumulation order included, so
+    /// the result is bitwise identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge id is out of range.
+    pub fn laplacian_for_edges(&self, edge_ids: &[usize]) -> CsrMatrix<f32> {
+        // Weighted vertex degrees restricted to the sampled edges, summed
+        // in edge-id request order (identity order == full order).
+        let mut dv = vec![0.0f32; self.n_vertices];
+        for (j, &e) in edge_ids.iter().enumerate() {
+            assert!(
+                e < self.n_edges(),
+                "laplacian_for_edges: edge_ids[{j}] = {e} out of range for {} edges",
+                self.n_edges()
+            );
+            for &v in &self.edges[e] {
+                dv[v] += self.weights[e];
+            }
+        }
         let dv_inv_sqrt: Vec<f32> = dv
             .iter()
             .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
@@ -273,13 +299,14 @@ impl Hypergraph {
         // Theta = Dv^{-1/2} H W De^{-1} H^T Dv^{-1/2}, assembled as
         // (scaled H) @ (scaled H)^T with per-edge weight w_e / |N_e|.
         let mut trips = Vec::new();
-        for (e, members) in self.edges.iter().enumerate() {
+        for (j, &e) in edge_ids.iter().enumerate() {
+            let members = &self.edges[e];
             let scale = self.weights[e] / members.len() as f32;
             for &v in members {
-                trips.push((v, e, dv_inv_sqrt[v] * scale.sqrt()));
+                trips.push((v, j, dv_inv_sqrt[v] * scale.sqrt()));
             }
         }
-        let half = CsrMatrix::from_triplets(self.n_vertices, self.n_edges(), &trips)
+        let half = CsrMatrix::from_triplets(self.n_vertices, edge_ids.len(), &trips)
             .expect("members validated at insertion");
         let theta = half.spmm(&half.transpose());
         CsrMatrix::identity(self.n_vertices).sub(&theta).prune()

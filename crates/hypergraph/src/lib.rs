@@ -19,11 +19,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 pub mod groups;
 mod hypergraph;
+mod ops;
 
+pub use cache::AggregationCache;
 pub use groups::{
     attribute_hypergroup, multi_hop_hypergroup, multi_hop_hypergroup_capped,
     pairwise_hypergroup, social_influence_hypergroup,
 };
 pub use hypergraph::{Hypergraph, HypergraphError};
+pub use ops::AggregationOps;

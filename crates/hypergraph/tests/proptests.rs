@@ -3,9 +3,9 @@
 use ahntp_graph::DiGraph;
 use ahntp_hypergraph::{
     attribute_hypergroup, multi_hop_hypergroup_capped, pairwise_hypergroup,
-    social_influence_hypergroup, Hypergraph,
+    social_influence_hypergroup, AggregationOps, Hypergraph,
 };
-use ahntp_tensor::Tensor;
+use ahntp_tensor::{xavier_uniform, SplitMix64, Tensor};
 use proptest::prelude::*;
 
 const N: usize = 12;
@@ -147,6 +147,84 @@ proptest! {
         prop_assert_eq!(h.n_edges(), hops * N);
         for e in 0..h.n_edges() {
             prop_assert!(h.edge_degree(e) <= cap + 1);
+        }
+    }
+
+    #[test]
+    fn sliced_identity_is_bitwise_full(h in arb_hypergraph()) {
+        // The mini-batch exactness keystone: the identity slice must equal
+        // the full extraction *bitwise*, not just numerically.
+        let identity: Vec<usize> = (0..h.n_edges()).collect();
+        let full = AggregationOps::full(&h);
+        let sl = AggregationOps::sliced(&h, &identity);
+        prop_assert_eq!(sl.n_edges(), full.n_edges());
+        prop_assert_eq!(&*sl.pairs, &*full.pairs);
+        prop_assert_eq!(&*sl.segments, &*full.segments);
+        prop_assert_eq!(&*sl.pair_vertices, &*full.pair_vertices);
+        prop_assert_eq!(&*sl.pair_edges, &*full.pair_edges);
+        for (a, b) in [(&sl.v2e, &full.v2e), (&sl.e2v, &full.e2v)] {
+            prop_assert_eq!(a.rows(), b.rows());
+            prop_assert_eq!(a.cols(), b.cols());
+            for r in 0..a.rows() {
+                for c in 0..a.cols() {
+                    prop_assert_eq!(
+                        a.get(r, c).to_bits(),
+                        b.get(r, c).to_bits(),
+                        "entry ({}, {}) differs in bits", r, c
+                    );
+                }
+            }
+        }
+        // Same for the Laplacian path.
+        let lap_full = h.laplacian();
+        let lap_id = h.laplacian_for_edges(&identity);
+        for r in 0..N {
+            for c in 0..N {
+                prop_assert_eq!(lap_full.get(r, c).to_bits(), lap_id.get(r, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_aggregation_is_permutation_consistent(
+        h in arb_hypergraph(),
+        mask in proptest::collection::vec(proptest::bool::weighted(0.5), 15),
+        seed in 0u64..1000,
+    ) {
+        // At ratio < 1.0 the sampled aggregation must depend only on the
+        // *set* of hyperedges, not the order the sampler emitted them in:
+        // per-edge operator rows are bitwise order-independent, and the
+        // round-trip aggregation matches to accumulation-order tolerance.
+        let mut ids: Vec<usize> = (0..h.n_edges()).filter(|&e| mask[e]).collect();
+        if ids.is_empty() {
+            ids.push(0);
+        }
+        let mut shuffled = ids.clone();
+        let mut rng = SplitMix64::new(seed ^ 0xfeed);
+        for i in (1..shuffled.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            shuffled.swap(i, j);
+        }
+        let a = AggregationOps::sliced(&h, &ids);
+        let b = AggregationOps::sliced(&h, &shuffled);
+        // v2e rows are verbatim copies: bitwise identical per edge.
+        for (i, &e) in ids.iter().enumerate() {
+            let j = shuffled.iter().position(|&s| s == e).expect("same set");
+            for v in 0..N {
+                prop_assert_eq!(
+                    a.v2e.get(i, v).to_bits(),
+                    b.v2e.get(j, v).to_bits(),
+                    "v2e row for edge {} differs between orderings", e
+                );
+            }
+        }
+        // Round-trip aggregation e2v · (v2e · X): same set, different
+        // order → same result up to f32 accumulation-order error.
+        let x = xavier_uniform(N, 3, seed);
+        let ya = a.e2v.mul_dense(&a.v2e.mul_dense(&x));
+        let yb = b.e2v.mul_dense(&b.v2e.mul_dense(&x));
+        for (p, q) in ya.as_slice().iter().zip(yb.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-5, "aggregation {} vs {}", p, q);
         }
     }
 

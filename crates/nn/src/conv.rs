@@ -3,49 +3,13 @@
 
 use crate::{Module, Param, Session};
 use ahntp_autograd::Var;
-use ahntp_hypergraph::Hypergraph;
-use ahntp_tensor::{xavier_uniform, CsrMatrix, SplitMix64, Tensor};
+use ahntp_hypergraph::{AggregationOps, Hypergraph};
+use ahntp_tensor::{xavier_uniform, SplitMix64, Tensor};
 use std::rc::Rc;
 
 /// Negative slope of the LeakyReLU in the attention score (Eq. 14); 0.2 is
 /// the GAT convention the paper follows.
 const ATTENTION_SLOPE: f32 = 0.2;
-
-/// Shared constant structure extracted from a [`Hypergraph`] once and
-/// reused by every layer/step over it.
-#[derive(Clone)]
-struct HypergraphOps {
-    /// `m × n` vertex→edge mean operator (Eq. 10).
-    v2e: Rc<CsrMatrix<f32>>,
-    /// `n × m` edge→vertex mean operator (Eq. 12).
-    e2v: Rc<CsrMatrix<f32>>,
-    /// Incidence pairs sorted by vertex, for attention (Eqs. 14–16).
-    pairs: Rc<Vec<(usize, usize)>>,
-    /// Per-pair central-vertex segment ids (softmax groups of Eq. 15).
-    segments: Rc<Vec<usize>>,
-    /// Row index per pair: the central vertex (to gather `x_i`).
-    pair_vertices: Rc<Vec<usize>>,
-    /// Row index per pair: the hyperedge (to gather `h_e`).
-    pair_edges: Rc<Vec<usize>>,
-    n_vertices: usize,
-}
-
-impl HypergraphOps {
-    fn new(h: &Hypergraph) -> HypergraphOps {
-        let (pairs, segments) = h.incidence_pairs();
-        let pair_vertices = pairs.iter().map(|&(v, _)| v).collect::<Vec<_>>();
-        let pair_edges = pairs.iter().map(|&(_, e)| e).collect::<Vec<_>>();
-        HypergraphOps {
-            v2e: Rc::new(h.vertex_to_edge_mean()),
-            e2v: Rc::new(h.edge_to_vertex_mean()),
-            pairs: Rc::new(pairs),
-            segments: Rc::new(segments),
-            pair_vertices: Rc::new(pair_vertices),
-            pair_edges: Rc::new(pair_edges),
-            n_vertices: h.n_vertices(),
-        }
-    }
-}
 
 /// The plain two-step spatial hypergraph convolution (Eqs. 10–13):
 ///
@@ -58,7 +22,7 @@ impl HypergraphOps {
 /// baseline.
 #[derive(Clone)]
 pub struct HypergraphConv {
-    ops: HypergraphOps,
+    ops: Rc<AggregationOps>,
     /// `w_e` of Eq. 11: one trainable scalar per hyperedge, initialised 1.
     edge_weights: Param,
     /// `θ` of Eq. 13 applied to the aggregated message.
@@ -80,13 +44,34 @@ impl HypergraphConv {
         out_dim: usize,
         seed: u64,
     ) -> HypergraphConv {
-        let ops = HypergraphOps::new(h);
+        Self::with_ops(name, Rc::new(AggregationOps::full(h)), in_dim, out_dim, seed)
+    }
+
+    /// Creates a layer over an already-extracted full operator set, so a
+    /// stack of layers (or several models) can share one extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is a slice rather than a full extraction — the
+    /// per-edge weights must cover every hyperedge.
+    pub fn with_ops(
+        name: &str,
+        ops: Rc<AggregationOps>,
+        in_dim: usize,
+        out_dim: usize,
+        seed: u64,
+    ) -> HypergraphConv {
+        assert!(
+            ops.edge_ids.is_none(),
+            "HypergraphConv::with_ops: layers bind to the full operator set; \
+             pass slices to forward_on instead"
+        );
         let theta_seed = SplitMix64::derive(seed, &format!("{name}.theta"));
         let self_seed = SplitMix64::derive(seed, &format!("{name}.theta_self"));
         HypergraphConv {
             edge_weights: Param::new(
                 format!("{name}.edge_w"),
-                Tensor::full(h.n_edges(), 1, 1.0),
+                Tensor::full(ops.n_edges(), 1, 1.0),
             ),
             theta: Param::new(
                 format!("{name}.theta"),
@@ -112,18 +97,40 @@ impl HypergraphConv {
         self.out_dim
     }
 
+    /// The operator set the layer was constructed over.
+    pub fn ops(&self) -> &Rc<AggregationOps> {
+        &self.ops
+    }
+
+    /// The per-edge weight column `w_e` of Eq. 11, gathered down to a
+    /// slice's selected edges when `ops` is a slice.
+    fn edge_weight_column(&self, s: &Session, ops: &AggregationOps) -> Var {
+        let w_col = s.var(&self.edge_weights);
+        match &ops.edge_ids {
+            Some(ids) => w_col.gather_rows(ids),
+            None => w_col,
+        }
+    }
+
     /// Forward pass over vertex features `x` (`n × in_dim`).
     pub fn forward(&self, s: &Session, x: &Var) -> Var {
+        self.forward_on(s, &self.ops, x)
+    }
+
+    /// Forward pass against an explicit operator set — the full extraction
+    /// or a sampled hyperedge slice from the same hypergraph (mini-batch
+    /// training). With the full set this is exactly [`Self::forward`].
+    pub fn forward_on(&self, s: &Session, ops: &AggregationOps, x: &Var) -> Var {
         let g = s.graph();
         // Eq. 10: hyperedge messages by mean aggregation.
-        let mess_e = g.spmm(&self.ops.v2e, x);
+        let mess_e = g.spmm(&ops.v2e, x);
         // Eq. 11: trainable per-edge scaling, broadcast over columns via
         // (m × 1) @ (1 × d) — a rank-1 expansion of the weight column.
-        let w_col = s.var(&self.edge_weights);
+        let w_col = self.edge_weight_column(s, ops);
         let ones = s.constant(Tensor::full(1, self.in_dim, 1.0));
         let h_e = mess_e.mul(&w_col.matmul(&ones));
         // Eq. 12: vertex messages by mean over incident hyperedges.
-        let mess_v = g.spmm(&self.ops.e2v, &h_e);
+        let mess_v = g.spmm(&ops.e2v, &h_e);
         // Eq. 13: F(x_u^t, Mess) — message transform plus the self-term.
         let msg = mess_v.matmul(&s.var(&self.theta));
         let own = x.matmul(&s.var(&self.theta_self));
@@ -173,7 +180,23 @@ impl AdaptiveHypergraphConv {
         out_dim: usize,
         seed: u64,
     ) -> AdaptiveHypergraphConv {
-        let base = HypergraphConv::new(name, h, in_dim, out_dim, seed);
+        Self::with_ops(name, Rc::new(AggregationOps::full(h)), in_dim, out_dim, seed)
+    }
+
+    /// Creates an adaptive layer over an already-extracted full operator
+    /// set (see [`HypergraphConv::with_ops`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is a slice rather than a full extraction.
+    pub fn with_ops(
+        name: &str,
+        ops: Rc<AggregationOps>,
+        in_dim: usize,
+        out_dim: usize,
+        seed: u64,
+    ) -> AdaptiveHypergraphConv {
+        let base = HypergraphConv::with_ops(name, ops, in_dim, out_dim, seed);
         let w_seed = SplitMix64::derive(seed, &format!("{name}.w_att"));
         let b_seed = SplitMix64::derive(seed, &format!("{name}.beta"));
         AdaptiveHypergraphConv {
@@ -199,13 +222,24 @@ impl AdaptiveHypergraphConv {
         self.base.out_dim
     }
 
+    /// The operator set the layer was constructed over.
+    pub fn ops(&self) -> &Rc<AggregationOps> {
+        self.base.ops()
+    }
+
     /// Forward pass over vertex features `x` (`n × in_dim`).
     pub fn forward(&self, s: &Session, x: &Var) -> Var {
+        self.forward_on(s, &self.base.ops, x)
+    }
+
+    /// Forward pass against an explicit operator set — the full extraction
+    /// or a sampled hyperedge slice from the same hypergraph (mini-batch
+    /// training). With the full set this is exactly [`Self::forward`].
+    pub fn forward_on(&self, s: &Session, ops: &AggregationOps, x: &Var) -> Var {
         let g = s.graph();
-        let ops = &self.base.ops;
         // Eqs. 10–11 as in the base layer.
         let mess_e = g.spmm(&ops.v2e, x);
-        let w_col = s.var(&self.base.edge_weights);
+        let w_col = self.base.edge_weight_column(s, ops);
         let ones = s.constant(Tensor::full(1, self.base.in_dim, 1.0));
         let h_e = mess_e.mul(&w_col.matmul(&ones));
         // Eqs. 12–13: provisional vertex update x' with the F(x^t, ·)
