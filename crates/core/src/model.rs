@@ -4,7 +4,7 @@
 use crate::{AhntpConfig, AhntpVariant};
 use ahntp_autograd::Var;
 use ahntp_data::{sample_edges, LabeledPair};
-use ahntp_eval::{BatchPlan, BatchTrustModel, TrustModel};
+use ahntp_eval::{BatchPlan, BatchTrustModel, ResumableModel, TrainProgress, TrustModel};
 use ahntp_graph::{motif_pagerank, pagerank, DiGraph, MotifPageRankConfig, PageRankConfig};
 use ahntp_hypergraph::{
     attribute_hypergroup, multi_hop_hypergroup_capped, pairwise_hypergroup,
@@ -16,7 +16,7 @@ use ahntp_nn::loss::{
 };
 use ahntp_nn::{
     Adam, AdaptiveHypergraphConv, HypergraphConv, Mlp, Module, Optimizer, Param, Session,
-    TrustArtifact,
+    TrainState, TrustArtifact,
 };
 use ahntp_tensor::{CsrMatrix, SplitMix64, Tensor};
 use std::cell::RefCell;
@@ -574,6 +574,52 @@ impl TrustModel for Ahntp {
     }
 }
 
+impl ResumableModel for Ahntp {
+    /// Captures the full training state — parameters, Adam moments and
+    /// step clock, the sampler seed, and the loop ledger — as a CRC-sealed
+    /// `AHNTP002` frame (see [`ahntp_nn::TrainState`]).
+    fn encode_train_state(&self, progress: &TrainProgress) -> Vec<u8> {
+        TrainState::capture(
+            &self.optimizer,
+            self.fingerprint,
+            self.cfg.seed,
+            progress.epochs_done as u32,
+            progress.best_loss,
+            progress.stale as u32,
+            &progress.epoch_losses,
+        )
+        .encode()
+        .to_vec()
+    }
+
+    /// Restores an `AHNTP002` frame into this model: the architecture
+    /// fingerprint and the sampler seed must both match — resuming with
+    /// either changed would silently produce a different trajectory than
+    /// the uninterrupted run the checkpoint belongs to.
+    fn decode_train_state(&mut self, bytes: &[u8]) -> Result<TrainProgress, String> {
+        let state = TrainState::decode(bytes).map_err(|e| e.to_string())?;
+        if state.rng_state != self.cfg.seed {
+            return Err(format!(
+                "checkpoint was written with sampler seed {} but this model is \
+                 configured with {}; resuming would change the mini-batch \
+                 trajectory",
+                state.rng_state, self.cfg.seed
+            ));
+        }
+        state
+            .apply(&mut self.optimizer, self.fingerprint)
+            .map_err(|e| e.to_string())?;
+        // Parameters changed under the cached scoring head.
+        self.head_cache.borrow_mut().take();
+        Ok(TrainProgress {
+            epochs_done: state.epochs_done as usize,
+            best_loss: state.best_loss,
+            stale: state.stale as usize,
+            epoch_losses: state.epoch_losses,
+        })
+    }
+}
+
 impl BatchTrustModel for Ahntp {
     /// One planned epoch: sample hyperedges once (per hypergraph, seeded
     /// from the plan), slice the cached operators, then run the plan's
@@ -946,6 +992,62 @@ mod checkpoint_tests {
         fresh.load(&blob).expect("same architecture");
         assert_eq!(fresh.predict(&split.test), trained.predict(&split.test));
         assert!(!trained.parameters().is_empty());
+    }
+
+    #[test]
+    fn train_state_roundtrip_restores_trajectory_and_gates_the_seed() {
+        let ds = TrustDataset::generate(&DatasetConfig::ciao_like(80, 5));
+        let split = ds.split(0.8, 0.2, 2, 42);
+        let cfg = AhntpConfig {
+            conv_dims: vec![16, 8],
+            tower_dims: vec![8],
+            ..AhntpConfig::default()
+        };
+        let mut a = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+        let mut b = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+        let mut losses = Vec::new();
+        for _ in 0..2 {
+            losses.push(a.train_epoch(&split.train));
+            b.train_epoch(&split.train);
+        }
+        // Checkpoint `a` after epoch 2, restore into an *untrained* twin,
+        // run one more epoch on both: bitwise-identical losses and
+        // predictions (Adam moments travelled with the state).
+        let progress = TrainProgress {
+            epochs_done: 2,
+            best_loss: losses[1],
+            stale: 0,
+            epoch_losses: losses.clone(),
+        };
+        let blob = a.encode_train_state(&progress);
+        let mut fresh = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+        let restored = fresh.decode_train_state(&blob).expect("same config");
+        assert_eq!(restored, progress);
+        let la = a.train_epoch(&split.train);
+        let lb = b.train_epoch(&split.train);
+        let lf = fresh.train_epoch(&split.train);
+        assert_eq!(la.to_bits(), lb.to_bits(), "twin runs agree");
+        assert_eq!(
+            la.to_bits(),
+            lf.to_bits(),
+            "resumed epoch must be bitwise identical"
+        );
+        assert_eq!(a.predict(&split.test), fresh.predict(&split.test));
+
+        // A different sampler seed refuses the state.
+        let mut other_cfg = cfg.clone();
+        other_cfg.seed ^= 0x77;
+        let mut other =
+            Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &other_cfg);
+        let err = other.decode_train_state(&blob).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+
+        // Corruption is caught by the CRC seal.
+        let mut bad = blob.clone();
+        bad[20] ^= 0x10;
+        let mut victim = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+        let err = victim.decode_train_state(&bad).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
     }
 
     #[test]

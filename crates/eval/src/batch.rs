@@ -138,11 +138,14 @@ pub fn train_and_evaluate_minibatch_observed(
     training_loop(
         model,
         |m, epoch| {
+            ahntp_faultz::enforce("train.plan");
             let plan = BatchPlan::for_epoch(train, mb, epoch as u64);
             ahntp_telemetry::counter_add("batch.plans", 1);
             ahntp_telemetry::counter_add("batch.micro_batches", plan.n_batches() as u64);
             m.train_epoch_planned(&plan)
         },
+        crate::TrainProgress::fresh(),
+        |_, _| {},
         train,
         test,
         cfg,

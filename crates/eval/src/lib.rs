@@ -7,12 +7,19 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod checkpoint;
 mod metrics;
 mod trainer;
 
 pub use batch::{
     train_and_evaluate_minibatch, train_and_evaluate_minibatch_observed, BatchPlan,
     BatchTrustModel,
+};
+pub use checkpoint::{
+    read_checkpoint, train_and_evaluate_minibatch_resumable,
+    train_and_evaluate_minibatch_resumable_observed, train_and_evaluate_resumable,
+    train_and_evaluate_resumable_observed, write_checkpoint_atomic, CheckpointConfig,
+    ResumableBatchModel, ResumableModel, TrainProgress,
 };
 pub use metrics::{auc, binary_metrics, Metrics};
 pub use trainer::{

@@ -2,6 +2,7 @@
 
 use std::time::Instant;
 
+use crate::checkpoint::TrainProgress;
 use crate::{binary_metrics, Metrics};
 use ahntp_data::LabeledPair;
 use ahntp_telemetry::json::Json;
@@ -238,7 +239,16 @@ pub fn train_and_evaluate_observed(
     cfg: &TrainConfig,
     observer: &mut dyn TrainObserver,
 ) -> EvalReport {
-    training_loop(model, |m, _epoch| m.train_epoch(train), train, test, cfg, observer)
+    training_loop(
+        model,
+        |m, _epoch| m.train_epoch(train),
+        TrainProgress::fresh(),
+        |_, _| {},
+        train,
+        test,
+        cfg,
+        observer,
+    )
 }
 
 /// The epoch loop shared by full-batch and mini-batch training: runs
@@ -250,24 +260,46 @@ pub fn train_and_evaluate_observed(
 /// `BatchPlan` and calls `BatchTrustModel::train_epoch_planned`. Everything
 /// around that call (the loop skeleton) is byte-for-byte shared, which is
 /// what keeps the two trajectories comparable.
+///
+/// Crash-safe resume rides on the same skeleton: `init` seeds the ledger
+/// (a fresh [`TrainProgress`] for normal runs, a restored one when
+/// resuming — the loop then starts at `init.epochs_done`), and
+/// `after_epoch` observes every completed epoch's ledger *after* the
+/// early-stopping decision, which is where the resumable entry points
+/// write checkpoints. Each epoch also passes the `train.epoch` failpoint,
+/// so chaos tests can kill training at an exact epoch.
+#[allow(clippy::too_many_arguments)] // one internal call-site per entry point
 pub(crate) fn training_loop<M: TrustModel + ?Sized>(
     model: &mut M,
     mut run_epoch: impl FnMut(&mut M, usize) -> f32,
+    init: TrainProgress,
+    mut after_epoch: impl FnMut(&M, &TrainProgress),
     train: &[LabeledPair],
     test: &[LabeledPair],
     cfg: &TrainConfig,
     observer: &mut dyn TrainObserver,
 ) -> EvalReport {
     assert!(!train.is_empty() && !test.is_empty(), "empty split");
+    assert_eq!(
+        init.epochs_done,
+        init.epoch_losses.len(),
+        "inconsistent resume ledger"
+    );
     let name = model.name();
     ahntp_telemetry::clear_nonfinite();
     observer.on_start(&name, cfg);
-    let mut best_loss = f32::INFINITY;
-    let mut stale = 0usize;
-    let mut final_loss = f32::NAN;
-    let mut epoch_losses = Vec::new();
-    let mut epochs_run = 0usize;
-    for epoch in 0..cfg.epochs {
+    let mut best_loss = init.best_loss;
+    let mut stale = init.stale;
+    let mut final_loss = init.epoch_losses.last().copied().unwrap_or(f32::NAN);
+    let mut epoch_losses = init.epoch_losses;
+    let mut epochs_run = init.epochs_done;
+    for epoch in init.epochs_done..cfg.epochs {
+        // A checkpoint taken at the early-stopping epoch restores to a run
+        // that has already stopped; don't train further.
+        if cfg.patience > 0 && stale >= cfg.patience {
+            break;
+        }
+        ahntp_faultz::enforce("train.epoch");
         let started = Instant::now();
         let loss = run_epoch(model, epoch);
         let wall_us = started.elapsed().as_micros() as u64;
@@ -300,6 +332,7 @@ pub(crate) fn training_loop<M: TrustModel + ?Sized>(
             "{name} epoch {epoch}: loss {loss:.6}, {wall_us}us"
         );
         observer.on_epoch(&stats);
+        let mut stop = false;
         if loss < best_loss * (1.0 - cfg.min_improvement) {
             best_loss = loss;
             stale = 0;
@@ -311,8 +344,22 @@ pub(crate) fn training_loop<M: TrustModel + ?Sized>(
                     "{name}: early stop after epoch {epoch} (patience {})",
                     cfg.patience
                 );
-                break;
+                stop = true;
             }
+        }
+        // The checkpoint hook sees the ledger *after* the stopping
+        // decision, so a resume from this epoch replays the same decision.
+        after_epoch(
+            model,
+            &TrainProgress {
+                epochs_done: epoch + 1,
+                best_loss,
+                stale,
+                epoch_losses: epoch_losses.clone(),
+            },
+        );
+        if stop {
+            break;
         }
     }
     let eval = |pairs: &[LabeledPair]| -> Metrics {

@@ -1,0 +1,540 @@
+//! Deterministic failpoint registry for the AHNTP stack.
+//!
+//! A *failpoint* is a named site in production code where a test (or an
+//! operator, via the environment) can inject a fault: an error return, a
+//! panic, or a delay. Sites are compiled in permanently and wired through
+//! the hot seams of the stack — checkpoint I/O, the training loop,
+//! hypergraph cache builds, every serve request stage — so that "the disk
+//! died mid-checkpoint" or "the batcher wedged" become deterministic,
+//! assertable test scenarios instead of prayers.
+//!
+//! Everything is plain `std` plus the in-workspace telemetry crate: no
+//! external dependencies, mirroring `ahntp-telemetry`'s design.
+//!
+//! # Cost when disabled
+//!
+//! The fast path of every site is one relaxed atomic load of the global
+//! armed-site count followed by a single always-false predicted branch —
+//! the same budget as a disabled telemetry hook. No string is hashed, no
+//! lock is touched, and nothing allocates until at least one failpoint is
+//! armed.
+//!
+//! # Arming
+//!
+//! Programmatically (tests):
+//!
+//! ```
+//! use ahntp_faultz::{self as faultz, Action, FaultSpec};
+//!
+//! let _guard = faultz::scoped("demo.site", FaultSpec::new(Action::Err));
+//! assert!(faultz::hit("demo.site").is_some());
+//! drop(_guard); // site disarmed, hit count cleared
+//! assert!(faultz::hit("demo.site").is_none());
+//! ```
+//!
+//! Or from the environment, read once on first use:
+//!
+//! ```text
+//! AHNTP_FAILPOINTS='ckpt.io.write=err;serve.batch=delay(10);train.epoch=nth(3)'
+//! ```
+//!
+//! The env grammar is `site=action` pairs separated by `;` (or `,`), with
+//! actions `err` (inject an error on every hit), `panic` (panic on every
+//! hit), `delay(ms)` (sleep that many milliseconds on every hit), and
+//! `nth(k)` (inject an error on the k-th hit only, 1-based — the
+//! "crash on the third checkpoint write" form). Programmatic specs can
+//! combine any action with an `nth` gate via [`FaultSpec::on_nth`].
+//!
+//! # Evaluating
+//!
+//! Fallible code uses the [`failpoint!`] macro, which early-returns an
+//! error converted from [`Injected`] (sites pick their error type via a
+//! `From<Injected>` impl, or supply a closure building the return value):
+//!
+//! ```ignore
+//! fn write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+//!     failpoint!("ckpt.io.write");            // returns Err(Injected.into())
+//!     ...
+//! }
+//! ```
+//!
+//! Infallible code (the training loop, cache builds) calls
+//! [`enforce`], which escalates an injected error to a panic — the only
+//! honest way to "fail" a function that cannot return an error. Code that
+//! wants to *degrade* rather than fail (the serve batcher) calls [`hit`]
+//! directly and branches on the result.
+//!
+//! Every triggered fault increments the `faultz.triggered` telemetry
+//! counter (plus per-site `faultz.<site>.triggered`), so chaos tests can
+//! assert that the metrics snapshot accounts for every injected event.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// The error value a triggered failpoint injects. Consumer crates convert
+/// it into their own error types via `From<Injected>` impls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injected {
+    site: String,
+}
+
+impl Injected {
+    /// Name of the failpoint that fired.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+}
+
+impl std::fmt::Display for Injected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at failpoint `{}`", self.site)
+    }
+}
+
+impl std::error::Error for Injected {}
+
+impl From<Injected> for std::io::Error {
+    fn from(inj: Injected) -> std::io::Error {
+        std::io::Error::other(inj.to_string())
+    }
+}
+
+impl From<Injected> for String {
+    fn from(inj: Injected) -> String {
+        inj.to_string()
+    }
+}
+
+/// What a triggered failpoint does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Inject an error ([`hit`] returns `Some(Injected)`).
+    Err,
+    /// Panic with a message naming the site.
+    Panic,
+    /// Sleep this many milliseconds, then continue normally.
+    Delay(u64),
+}
+
+/// A full fault specification: an action plus an optional `nth` gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    action: Action,
+    /// When set, the action fires only on this (1-based) evaluation of the
+    /// site; every other evaluation is a no-op.
+    nth: Option<u64>,
+}
+
+impl FaultSpec {
+    /// A spec that fires its action on every evaluation.
+    pub fn new(action: Action) -> FaultSpec {
+        FaultSpec { action, nth: None }
+    }
+
+    /// Restricts the spec to fire only on the `n`-th evaluation (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn on_nth(mut self, n: u64) -> FaultSpec {
+        assert!(n > 0, "nth gates are 1-based");
+        self.nth = Some(n);
+        self
+    }
+
+    /// Parses the env grammar: `err`, `panic`, `delay(ms)`, `nth(k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed spec.
+    pub fn parse(text: &str) -> Result<FaultSpec, String> {
+        let text = text.trim();
+        match text {
+            "err" => return Ok(FaultSpec::new(Action::Err)),
+            "panic" => return Ok(FaultSpec::new(Action::Panic)),
+            _ => {}
+        }
+        let arg = |prefix: &str| -> Option<Result<u64, String>> {
+            let inner = text.strip_prefix(prefix)?.strip_suffix(')')?;
+            Some(
+                inner
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad numeric argument in {text:?}")),
+            )
+        };
+        if let Some(ms) = arg("delay(") {
+            return Ok(FaultSpec::new(Action::Delay(ms?)));
+        }
+        if let Some(k) = arg("nth(") {
+            let k = k?;
+            if k == 0 {
+                return Err(format!("nth is 1-based, got {text:?}"));
+            }
+            return Ok(FaultSpec::new(Action::Err).on_nth(k));
+        }
+        Err(format!(
+            "unknown failpoint action {text:?} (expected err, panic, delay(ms), or nth(k))"
+        ))
+    }
+}
+
+struct SiteState {
+    spec: FaultSpec,
+    hits: u64,
+}
+
+struct Registry {
+    sites: HashMap<String, SiteState>,
+}
+
+static ARMED_SITES: AtomicUsize = AtomicUsize::new(0);
+static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+static ENV_INIT: OnceLock<()> = OnceLock::new();
+
+fn registry() -> MutexGuard<'static, Registry> {
+    REGISTRY
+        .get_or_init(|| {
+            Mutex::new(Registry {
+                sites: HashMap::new(),
+            })
+        })
+        .lock()
+        // Failpoints panic by design; a poisoned registry is still valid.
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Reads `AHNTP_FAILPOINTS` once and arms the sites it names. Malformed
+/// entries are warned about and skipped, matching the telemetry crate's
+/// env-parsing policy (never silently ignore, never abort).
+fn init_from_env() {
+    ENV_INIT.get_or_init(|| {
+        let Ok(raw) = std::env::var("AHNTP_FAILPOINTS") else {
+            return;
+        };
+        for entry in raw.split([';', ',']).filter(|e| !e.trim().is_empty()) {
+            let Some((site, spec)) = entry.split_once('=') else {
+                ahntp_telemetry::warn!(
+                    "faultz",
+                    "AHNTP_FAILPOINTS entry {entry:?} is not site=action; skipped"
+                );
+                continue;
+            };
+            match FaultSpec::parse(spec) {
+                // `arm`, not `configure`: configure() re-enters
+                // init_from_env(), and a re-entrant OnceLock::get_or_init
+                // deadlocks.
+                Ok(spec) => arm(site.trim(), spec),
+                Err(e) => {
+                    ahntp_telemetry::warn!("faultz", "AHNTP_FAILPOINTS: {e}; skipped");
+                }
+            }
+        }
+    });
+}
+
+/// Whether any failpoint is armed. One relaxed atomic load — the gate the
+/// [`failpoint!`] macro and every helper check before doing real work.
+#[inline]
+pub fn armed() -> bool {
+    init_from_env();
+    ARMED_SITES.load(Ordering::Relaxed) != 0
+}
+
+/// Arms `site` with `spec`, replacing any previous spec and resetting the
+/// site's hit count.
+pub fn configure(site: &str, spec: FaultSpec) {
+    init_from_env();
+    arm(site, spec);
+}
+
+/// The arming core, shared by [`configure`] and the env initializer
+/// (which must not re-enter [`configure`]'s `init_from_env`).
+fn arm(site: &str, spec: FaultSpec) {
+    let mut reg = registry();
+    let fresh = reg
+        .sites
+        .insert(site.to_string(), SiteState { spec, hits: 0 })
+        .is_none();
+    if fresh {
+        ARMED_SITES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Disarms `site` (no-op if it was not armed).
+pub fn disarm(site: &str) {
+    let mut reg = registry();
+    if reg.sites.remove(site).is_some() {
+        ARMED_SITES.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Disarms every failpoint.
+pub fn clear() {
+    let mut reg = registry();
+    let n = reg.sites.len();
+    reg.sites.clear();
+    ARMED_SITES.fetch_sub(n, Ordering::Relaxed);
+}
+
+/// Number of times `site` has been evaluated since it was last configured
+/// (0 for unarmed sites — unarmed evaluations are not tracked).
+pub fn hits(site: &str) -> u64 {
+    registry().sites.get(site).map_or(0, |s| s.hits)
+}
+
+/// RAII guard returned by [`scoped`]: disarms its site on drop.
+pub struct ScopedFault {
+    site: String,
+}
+
+impl Drop for ScopedFault {
+    fn drop(&mut self) {
+        disarm(&self.site);
+    }
+}
+
+/// Arms `site` for the lifetime of the returned guard — the test-friendly
+/// entry point that cannot leak armed faults into later tests.
+#[must_use = "the failpoint is disarmed when the guard drops"]
+pub fn scoped(site: &str, spec: FaultSpec) -> ScopedFault {
+    configure(site, spec);
+    ScopedFault {
+        site: site.to_string(),
+    }
+}
+
+/// Evaluates the failpoint `site`: counts the hit and, if an armed spec
+/// matches, performs its action. `Some(Injected)` means "fail now";
+/// `None` means continue (possibly after a delay).
+///
+/// # Panics
+///
+/// Panics when the armed action is [`Action::Panic`] — that is the action.
+pub fn hit(site: &str) -> Option<Injected> {
+    if !armed() {
+        return None;
+    }
+    let action = {
+        let mut reg = registry();
+        let state = reg.sites.get_mut(site)?;
+        state.hits += 1;
+        match state.spec.nth {
+            Some(n) if state.hits != n => return None,
+            _ => state.spec.action,
+        }
+    };
+    ahntp_telemetry::counter_add("faultz.triggered", 1);
+    ahntp_telemetry::counter_add(&format!("faultz.{site}.triggered"), 1);
+    match action {
+        Action::Err => {
+            ahntp_telemetry::warn!("faultz", "failpoint `{site}`: injecting error");
+            Some(Injected {
+                site: site.to_string(),
+            })
+        }
+        Action::Panic => {
+            ahntp_telemetry::warn!("faultz", "failpoint `{site}`: injecting panic");
+            panic!("failpoint `{site}`: injected panic");
+        }
+        Action::Delay(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            None
+        }
+    }
+}
+
+/// [`hit`] for infallible contexts: an injected error escalates to a
+/// panic (there is no error channel to return it through), delays and
+/// panics behave as usual.
+///
+/// # Panics
+///
+/// Panics when the armed action is [`Action::Err`] or [`Action::Panic`].
+pub fn enforce(site: &str) {
+    if let Some(inj) = hit(site) {
+        panic!("failpoint `{}`: injected failure ({inj})", inj.site());
+    }
+}
+
+/// Evaluates a failpoint and early-returns on injection.
+///
+/// Two forms:
+///
+/// * `failpoint!("site")` — on injection, `return Err(injected.into())`;
+///   the enclosing function's error type must implement `From<Injected>`.
+/// * `failpoint!("site", |inj| expr)` — on injection, `return expr;` the
+///   closure receives the [`Injected`] value and builds the full return
+///   value (not just the error).
+///
+/// When no failpoint is armed anywhere, both forms cost one relaxed
+/// atomic load.
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {
+        if $crate::armed() {
+            if let Some(inj) = $crate::hit($site) {
+                return Err(inj.into());
+            }
+        }
+    };
+    ($site:expr, $ret:expr) => {
+        if $crate::armed() {
+            if let Some(inj) = $crate::hit($site) {
+                #[allow(clippy::redundant_closure_call)]
+                return ($ret)(inj);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; tests in this file serialize on one
+    // lock so their arming cannot interleave.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> MutexGuard<'static, ()> {
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn unarmed_sites_are_silent() {
+        let _gate = exclusive();
+        assert!(hit("tests.nowhere").is_none());
+        assert_eq!(hits("tests.nowhere"), 0);
+    }
+
+    #[test]
+    fn err_fires_on_every_hit_and_scoped_disarms() {
+        let _gate = exclusive();
+        let guard = scoped("tests.err", FaultSpec::new(Action::Err));
+        for _ in 0..3 {
+            let inj = hit("tests.err").expect("armed err fires");
+            assert_eq!(inj.site(), "tests.err");
+        }
+        assert_eq!(hits("tests.err"), 3);
+        drop(guard);
+        assert!(hit("tests.err").is_none());
+    }
+
+    #[test]
+    fn nth_gates_to_exactly_one_hit() {
+        let _gate = exclusive();
+        let _guard = scoped("tests.nth", FaultSpec::new(Action::Err).on_nth(3));
+        assert!(hit("tests.nth").is_none());
+        assert!(hit("tests.nth").is_none());
+        assert!(hit("tests.nth").is_some(), "third hit fires");
+        assert!(hit("tests.nth").is_none(), "and only the third");
+    }
+
+    #[test]
+    fn panic_action_panics_with_the_site_name() {
+        let _gate = exclusive();
+        let _guard = scoped("tests.panic", FaultSpec::new(Action::Panic));
+        let result = std::panic::catch_unwind(|| hit("tests.panic"));
+        let err = result.expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("tests.panic"), "{msg}");
+    }
+
+    #[test]
+    fn delay_returns_none_after_sleeping() {
+        let _gate = exclusive();
+        let _guard = scoped("tests.delay", FaultSpec::new(Action::Delay(5)));
+        let started = std::time::Instant::now();
+        assert!(hit("tests.delay").is_none());
+        assert!(started.elapsed() >= std::time::Duration::from_millis(5));
+    }
+
+    #[test]
+    fn enforce_escalates_err_to_panic() {
+        let _gate = exclusive();
+        let _guard = scoped("tests.enforce", FaultSpec::new(Action::Err));
+        let result = std::panic::catch_unwind(|| enforce("tests.enforce"));
+        let err = result.expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("tests.enforce"), "{msg}");
+    }
+
+    #[test]
+    fn spec_parsing_covers_the_env_grammar() {
+        assert_eq!(FaultSpec::parse("err").unwrap(), FaultSpec::new(Action::Err));
+        assert_eq!(
+            FaultSpec::parse(" panic ").unwrap(),
+            FaultSpec::new(Action::Panic)
+        );
+        assert_eq!(
+            FaultSpec::parse("delay(25)").unwrap(),
+            FaultSpec::new(Action::Delay(25))
+        );
+        assert_eq!(
+            FaultSpec::parse("nth(4)").unwrap(),
+            FaultSpec::new(Action::Err).on_nth(4)
+        );
+        assert!(FaultSpec::parse("nth(0)").is_err());
+        assert!(FaultSpec::parse("delay(soon)").is_err());
+        assert!(FaultSpec::parse("explode").is_err());
+    }
+
+    #[test]
+    fn macro_returns_the_converted_error() {
+        let _gate = exclusive();
+        fn guarded() -> Result<u32, String> {
+            failpoint!("tests.macro");
+            Ok(7)
+        }
+        assert_eq!(guarded(), Ok(7), "unarmed: straight through");
+        let _guard = scoped("tests.macro", FaultSpec::new(Action::Err));
+        let err = guarded().expect_err("armed: injected");
+        assert!(err.contains("tests.macro"), "{err}");
+    }
+
+    #[test]
+    fn macro_closure_form_builds_the_return_value() {
+        let _gate = exclusive();
+        fn guarded() -> u32 {
+            failpoint!("tests.macro.closure", |_inj| 99);
+            7
+        }
+        assert_eq!(guarded(), 7);
+        let _guard = scoped("tests.macro.closure", FaultSpec::new(Action::Err));
+        assert_eq!(guarded(), 99);
+    }
+
+    #[test]
+    fn configure_resets_hit_counts() {
+        let _gate = exclusive();
+        let _guard = scoped("tests.reset", FaultSpec::new(Action::Err).on_nth(2));
+        assert!(hit("tests.reset").is_none());
+        assert!(hit("tests.reset").is_some());
+        configure("tests.reset", FaultSpec::new(Action::Err).on_nth(2));
+        assert!(hit("tests.reset").is_none(), "count restarted");
+        assert!(hit("tests.reset").is_some());
+        disarm("tests.reset");
+    }
+
+    #[test]
+    fn triggered_counter_accounts_for_every_injection() {
+        let _gate = exclusive();
+        ahntp_telemetry::set_enabled(true);
+        let before = ahntp_telemetry::counter_get("faultz.triggered");
+        let site_before = ahntp_telemetry::counter_get("faultz.tests.counted.triggered");
+        let _guard = scoped("tests.counted", FaultSpec::new(Action::Err));
+        let n = 4;
+        for _ in 0..n {
+            assert!(hit("tests.counted").is_some());
+        }
+        assert_eq!(ahntp_telemetry::counter_get("faultz.triggered"), before + n);
+        assert_eq!(
+            ahntp_telemetry::counter_get("faultz.tests.counted.triggered"),
+            site_before + n
+        );
+    }
+}

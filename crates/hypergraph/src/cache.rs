@@ -112,6 +112,7 @@ impl AggregationCache {
             return Rc::clone(ops);
         }
         ahntp_telemetry::counter_add("hypergraph.cache.misses", 1);
+        ahntp_faultz::enforce("hypergraph.cache.build");
         let ops = Rc::new(AggregationOps::full(&self.h));
         ahntp_telemetry::gauge_set(
             "hypergraph.cache.resident_rows",
@@ -139,6 +140,7 @@ impl AggregationCache {
             }
         }
         ahntp_telemetry::counter_add("hypergraph.cache.misses", 1);
+        ahntp_faultz::enforce("hypergraph.cache.slice");
         let (inc, v2e) = &*self.full_slice_inputs();
         let ops = Rc::new(AggregationOps::sliced_from(inc, v2e, edge_ids));
         ahntp_telemetry::gauge_set(

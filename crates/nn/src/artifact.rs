@@ -26,11 +26,15 @@
 //! f32 embeddings    (n_users × emb_dim, row-major; raw comprehensive embeddings)
 //! f32 trustor_head  (n_users × head_dim, row-major; L2-normalised tower-A rows)
 //! f32 trustee_head  (n_users × head_dim, row-major; L2-normalised tower-B rows)
+//! u32 CRC-32 of everything above (see `frame::seal`)
 //! ```
 //!
-//! All integers and floats are little-endian.
+//! All integers and floats are little-endian. The trailing CRC is verified
+//! before any field is parsed, so truncated or corrupted artifacts fail
+//! with a "checksum" error instead of being half-decoded.
 
-use crate::frame::{get_f32s, get_string, need, put_f32s, put_string};
+use crate::frame::{check_seal, get_f32s, get_string, need, put_f32s, put_string, seal};
+use ahntp_faultz::failpoint;
 use bytes::{Buf, BufMut, BytesMut};
 
 const MAGIC: &[u8; 9] = b"AHNTPSRV1";
@@ -66,6 +70,12 @@ impl std::fmt::Display for ArtifactError {
 }
 
 impl std::error::Error for ArtifactError {}
+
+impl From<ahntp_faultz::Injected> for ArtifactError {
+    fn from(inj: ahntp_faultz::Injected) -> ArtifactError {
+        ArtifactError::Malformed(inj.to_string())
+    }
+}
 
 /// A decoded (or about-to-be-encoded) serveable trust artifact.
 ///
@@ -150,6 +160,7 @@ impl TrustArtifact {
         put_f32s(&mut buf, &self.embeddings);
         put_f32s(&mut buf, &self.trustor_head);
         put_f32s(&mut buf, &self.trustee_head);
+        seal(&mut buf);
         buf.freeze().to_vec()
     }
 
@@ -161,8 +172,11 @@ impl TrustArtifact {
     /// [`ArtifactError::UnsupportedVersion`] on an unknown version, and
     /// [`ArtifactError::Inconsistent`] when the decoded fields disagree
     /// with each other.
-    pub fn decode(mut data: &[u8]) -> Result<TrustArtifact, ArtifactError> {
+    pub fn decode(data: &[u8]) -> Result<TrustArtifact, ArtifactError> {
+        failpoint!("artifact.decode");
         let malformed = ArtifactError::Malformed;
+        // Verify the trailing CRC before trusting any field.
+        let mut data = check_seal(data).map_err(malformed)?;
         need(data, MAGIC.len(), "magic").map_err(malformed)?;
         if &data[..MAGIC.len()] != MAGIC {
             return Err(ArtifactError::Malformed("bad magic".into()));
@@ -213,6 +227,15 @@ impl TrustArtifact {
 mod tests {
     use super::*;
 
+    /// Rewrites the trailing CRC after the test has poked the payload, so
+    /// the frame reaches the field-level checks under test instead of
+    /// failing at the seal.
+    fn reseal(bytes: &mut [u8]) {
+        let split = bytes.len() - 4;
+        let crc = crate::frame::crc32(&bytes[..split]);
+        bytes[split..].copy_from_slice(&crc.to_le_bytes());
+    }
+
     fn tiny() -> TrustArtifact {
         TrustArtifact {
             model: "AHNTP".to_string(),
@@ -256,6 +279,7 @@ mod tests {
     fn unknown_versions_are_rejected_with_the_version() {
         let mut bytes = tiny().encode();
         bytes[9] = 9; // little-endian u16 version right after the magic
+        reseal(&mut bytes);
         match TrustArtifact::decode(&bytes) {
             Err(ArtifactError::UnsupportedVersion(9)) => {}
             other => panic!("expected UnsupportedVersion(9), got {other:?}"),
@@ -264,10 +288,21 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
+        // Appended garbage breaks the seal…
         let mut bytes = tiny().encode();
         bytes.push(0);
         assert!(matches!(
             TrustArtifact::decode(&bytes),
+            Err(ArtifactError::Malformed(m)) if m.contains("checksum")
+        ));
+        // …and garbage smuggled *inside* a correctly sealed frame is still
+        // caught by the trailing-bytes check.
+        let mut inner = tiny().encode();
+        let split = inner.len() - 4;
+        inner.insert(split, 0);
+        reseal(&mut inner);
+        assert!(matches!(
+            TrustArtifact::decode(&inner),
             Err(ArtifactError::Malformed(m)) if m.contains("trailing")
         ));
     }

@@ -22,6 +22,9 @@
 //! * [`Adam`] / [`Sgd`] — optimizers (the paper trains with Adam,
 //!   lr = 1e-3, weight decay = 1e-4).
 //! * [`save_params`] / [`load_params`] — state-dict-style checkpoints.
+//! * [`TrainState`] — full training-state checkpoints (parameters, Adam
+//!   moments, sampler seed, early-stopping ledger) for crash-safe,
+//!   bitwise-exact resume.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +38,7 @@ pub mod loss;
 mod optim;
 mod param;
 mod serialize;
+mod train_state;
 
 pub use artifact::{ArtifactError, TrustArtifact, ARTIFACT_VERSION};
 pub use conv::{AdaptiveHypergraphConv, HypergraphConv};
@@ -46,3 +50,4 @@ pub use serialize::{
     checkpoint_fingerprint, load_params, load_params_tagged, save_params, save_params_tagged,
     CheckpointError,
 };
+pub use train_state::{ParamState, TrainState};

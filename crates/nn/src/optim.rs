@@ -86,6 +86,57 @@ impl Adam {
             t: 0,
         }
     }
+
+    /// Number of update steps applied so far (the bias-correction clock).
+    pub fn step_count(&self) -> u32 {
+        self.t
+    }
+
+    /// The first and second moment estimates, aligned index-for-index with
+    /// [`Optimizer::params`]. Exposed so training checkpoints can capture
+    /// the full optimizer state — resuming with zeroed moments would not
+    /// reproduce an uninterrupted trajectory.
+    pub fn moments(&self) -> (&[Tensor], &[Tensor]) {
+        (&self.m, &self.v)
+    }
+
+    /// Restores the optimizer clock and moment estimates captured by
+    /// [`Adam::step_count`]/[`Adam::moments`] (via a training checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Rejects state whose length or tensor shapes disagree with the
+    /// parameter list, leaving the optimizer untouched.
+    pub fn restore_state(
+        &mut self,
+        t: u32,
+        m: Vec<Tensor>,
+        v: Vec<Tensor>,
+    ) -> Result<(), String> {
+        if m.len() != self.params.len() || v.len() != self.params.len() {
+            return Err(format!(
+                "moment count mismatch: {} params, {} first moments, {} second moments",
+                self.params.len(),
+                m.len(),
+                v.len()
+            ));
+        }
+        for (i, p) in self.params.iter().enumerate() {
+            let shape = p.value().shape();
+            if m[i].shape() != shape || v[i].shape() != shape {
+                return Err(format!(
+                    "moment shape mismatch for {}: param is {shape}, moments are {} / {}",
+                    p.name(),
+                    m[i].shape(),
+                    v[i].shape()
+                ));
+            }
+        }
+        self.t = t;
+        self.m = m;
+        self.v = v;
+        Ok(())
+    }
 }
 
 impl Optimizer for Adam {

@@ -10,6 +10,7 @@
 //!   u32 name length, name bytes (UTF-8)
 //!   u8  rank (1 or 2), u32 rows, u32 cols
 //!   f32 data (little-endian, row-major)
+//! u32 CRC-32 of everything above (see `frame::seal`)
 //! ```
 //!
 //! Loading is *by name into an existing module*: build the model with the
@@ -25,9 +26,10 @@
 //! with [`load_params_tagged`]. A fingerprint of `0` means "untagged" and
 //! is never checked, so generic state-dict users keep the old behaviour.
 
-use crate::frame::{get_f32s, get_string, need, put_string};
+use crate::frame::{check_seal, get_string, get_tensor, need, put_string, put_tensor, seal};
 use crate::Param;
-use ahntp_tensor::{Shape, Tensor};
+use ahntp_faultz::failpoint;
+use ahntp_tensor::Tensor;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 8] = b"AHNTP001";
@@ -86,6 +88,12 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+impl From<ahntp_faultz::Injected> for CheckpointError {
+    fn from(inj: ahntp_faultz::Injected) -> CheckpointError {
+        CheckpointError::Malformed(inj.to_string())
+    }
+}
+
 /// Serialises parameters into an untagged checkpoint frame (architecture
 /// fingerprint 0, never verified on load).
 pub fn save_params(params: &[Param]) -> Bytes {
@@ -100,25 +108,10 @@ pub fn save_params_tagged(params: &[Param], fingerprint: u64) -> Bytes {
     buf.put_u64_le(fingerprint);
     buf.put_u32_le(params.len() as u32);
     for p in params {
-        let name = p.name();
-        let value = p.value();
-        put_string(&mut buf, &name);
-        match value.shape() {
-            Shape::Vector(n) => {
-                buf.put_u8(1);
-                buf.put_u32_le(n as u32);
-                buf.put_u32_le(0);
-            }
-            Shape::Matrix(r, c) => {
-                buf.put_u8(2);
-                buf.put_u32_le(r as u32);
-                buf.put_u32_le(c as u32);
-            }
-        }
-        for &v in value.as_slice() {
-            buf.put_f32_le(v);
-        }
+        put_string(&mut buf, &p.name());
+        put_tensor(&mut buf, &p.value());
     }
+    seal(&mut buf);
     buf.freeze()
 }
 
@@ -126,7 +119,11 @@ fn malformed(m: String) -> CheckpointError {
     CheckpointError::Malformed(m)
 }
 
-fn decode(mut data: &[u8]) -> Result<(u64, Vec<(String, Tensor)>), CheckpointError> {
+fn decode(data: &[u8]) -> Result<(u64, Vec<(String, Tensor)>), CheckpointError> {
+    failpoint!("ckpt.decode");
+    // Verify the trailing CRC before trusting any field: a partially
+    // written or corrupted checkpoint must fail here, not half-decode.
+    let mut data = check_seal(data).map_err(malformed)?;
     need(data, 8, "magic").map_err(malformed)?;
     if &data[..8] != MAGIC {
         return Err(CheckpointError::Malformed("bad magic".into()));
@@ -139,26 +136,7 @@ fn decode(mut data: &[u8]) -> Result<(u64, Vec<(String, Tensor)>), CheckpointErr
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         let name = get_string(&mut data, &format!("param {i} name")).map_err(malformed)?;
-        need(data, 9, "shape").map_err(malformed)?;
-        let rank = data.get_u8();
-        let rows = data.get_u32_le() as usize;
-        let cols = data.get_u32_le() as usize;
-        let volume = match rank {
-            1 => rows,
-            2 => rows * cols,
-            r => {
-                return Err(CheckpointError::Malformed(format!(
-                    "param {name}: unsupported rank {r}"
-                )))
-            }
-        };
-        let values = get_f32s(&mut data, volume, "tensor data").map_err(malformed)?;
-        let tensor = if rank == 1 {
-            Tensor::vector(values)
-        } else {
-            Tensor::from_vec(rows, cols, values)
-                .map_err(|e| CheckpointError::Malformed(format!("param {name}: {e}")))?
-        };
+        let tensor = get_tensor(&mut data, &format!("param {name}")).map_err(malformed)?;
         out.push((name, tensor));
     }
     Ok((fingerprint, out))

@@ -6,6 +6,11 @@
 //! percent-decoding (user ids and counts are plain integers). Limits are
 //! hard-coded and conservative because the server fronts a model, not the
 //! open internet.
+//!
+//! Failpoints (`ahntp-faultz`): `serve.read` fires at the top of
+//! [`read_request`] and `serve.write` at the top of
+//! [`write_response_with`], both surfacing as injected I/O errors — the
+//! chaos suite uses them to simulate flaky sockets.
 
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
@@ -30,6 +35,12 @@ pub enum HttpError {
 impl From<io::Error> for HttpError {
     fn from(e: io::Error) -> HttpError {
         HttpError::Io(e)
+    }
+}
+
+impl From<ahntp_faultz::Injected> for HttpError {
+    fn from(inj: ahntp_faultz::Injected) -> HttpError {
+        HttpError::Io(inj.into())
     }
 }
 
@@ -92,6 +103,7 @@ impl Request {
 /// surface as `WouldBlock`/`TimedOut`), [`HttpError::BadRequest`] on
 /// malformed syntax, [`HttpError::TooLarge`] on oversized bodies.
 pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    ahntp_faultz::failpoint!("serve.read");
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Ok(None);
@@ -170,13 +182,36 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(writer, status, reason, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response`] plus arbitrary extra headers (e.g. `Retry-After` on
+/// load-shed and deadline responses).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response_with(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    ahntp_faultz::failpoint!("serve.write");
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+         Content-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body)?;
     writer.flush()
 }
@@ -252,6 +287,26 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_ride_between_the_fixed_ones_and_the_body() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            503,
+            "Service Unavailable",
+            "application/json",
+            &[("Retry-After", "2".to_string())],
+            b"{}",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("\r\nRetry-After: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
     }
 }

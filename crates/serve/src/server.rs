@@ -19,6 +19,21 @@
 //! Metrics (all under the `serve.` prefix): `serve.http.requests` /
 //! `serve.http.errors` counters, `serve.request.us` latency histogram,
 //! `serve.score.batch_size` histogram, and the `serve.queue.depth` gauge.
+//!
+//! # Fault tolerance
+//!
+//! Every `/score` request carries a deadline ([`ServeConfig::deadline`]):
+//! a reply that does not arrive in time answers `504` with a
+//! `Retry-After` header and bumps `serve.deadline_exceeded`, so a stalled
+//! or slow batcher can never hang a client past the deadline. A full (or
+//! stopped) batch queue sheds load with `503` + `Retry-After` and bumps
+//! `serve.shed`. When the `serve.batch` failpoint trips, the batcher
+//! degrades from the fused batch kernel to per-pair scalar scoring
+//! (`serve.degraded` counts the batches served that way) rather than
+//! failing the jobs. `GET /healthz` never touches the queue, so liveness
+//! probes keep answering under every failure mode. Failpoints
+//! (`ahntp-faultz`): `serve.request`, `serve.enqueue`, `serve.batch`,
+//! plus `serve.read` / `serve.write` in the HTTP layer.
 
 use std::collections::VecDeque;
 use std::io::{self, BufReader, Write};
@@ -33,7 +48,7 @@ use ahntp_telemetry::{
     counter_add, gauge_set, histogram_record, info, metrics_snapshot_json, warn,
 };
 
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{read_request, write_response, write_response_with, HttpError, Request};
 use crate::index::{ScoreError, TrustIndex};
 
 /// Tuning knobs for [`serve`].
@@ -58,6 +73,14 @@ pub struct ServeConfig {
     /// core); any other value overrides it at startup. Results are
     /// bitwise identical at every setting.
     pub threads: usize,
+    /// Per-request deadline for `POST /score`: if the batcher has not
+    /// replied within this budget (measured from request parse), the
+    /// worker answers `504 Gateway Timeout` with a `Retry-After` header
+    /// instead of blocking forever.
+    pub deadline: Duration,
+    /// Value of the `Retry-After` header (whole seconds, minimum 1) on
+    /// load-shed (`503`) and deadline (`504`) responses.
+    pub retry_after: Duration,
 }
 
 impl Default for ServeConfig {
@@ -70,8 +93,42 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             read_timeout: Duration::from_millis(50),
             threads: 0,
+            deadline: Duration::from_secs(2),
+            retry_after: Duration::from_secs(1),
         }
     }
+}
+
+/// One endpoint answer: status line plus JSON body, with an optional
+/// `Retry-After` value (seconds) for backpressure responses.
+struct Response {
+    status: u16,
+    reason: &'static str,
+    body: Json,
+    retry_after: Option<u64>,
+}
+
+impl Response {
+    fn new(status: u16, reason: &'static str, body: Json) -> Response {
+        Response { status, reason, body, retry_after: None }
+    }
+
+    fn error(status: u16, reason: &'static str, message: &str) -> Response {
+        Response::new(status, reason, Json::obj([("error", message.into())]))
+    }
+
+    fn retry_after(mut self, after: Duration) -> Response {
+        self.retry_after = Some(after.as_secs().max(1));
+        self
+    }
+}
+
+/// Everything a worker needs to answer one request.
+struct RequestCtx<'a> {
+    index: &'a TrustIndex,
+    queue: &'a BatchQueue,
+    deadline: Duration,
+    retry_after: Duration,
 }
 
 /// One queued `POST /score` request.
@@ -160,6 +217,23 @@ fn run_batcher(queue: &BatchQueue, index: &TrustIndex, max_batch: usize, batch_w
         drop(state);
 
         histogram_record("serve.score.batch_size", batch_pairs as u64);
+        // Chaos hook: an Err action degrades this batch from the fused
+        // kernel to per-pair scalar scoring (jobs still get answers); a
+        // Delay action just slows the batch down — the per-request
+        // deadline in `score_endpoint` bounds what clients see.
+        if ahntp_faultz::armed() && ahntp_faultz::hit("serve.batch").is_some() {
+            counter_add("serve.degraded", 1);
+            warn!("serve", "batch kernel faulted; degrading to per-pair scoring");
+            for job in batch {
+                let scores: Result<Vec<f32>, ScoreError> = job
+                    .pairs
+                    .iter()
+                    .map(|&(trustor, trustee)| index.score(trustor, trustee))
+                    .collect();
+                let _ = job.reply.send(scores);
+            }
+            continue;
+        }
         let all: Vec<(usize, usize)> = batch
             .iter()
             .flat_map(|j| j.pairs.iter().copied())
@@ -287,15 +361,20 @@ pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle
             let queue = Arc::clone(&queue);
             let shutdown = Arc::clone(&shutdown);
             let read_timeout = config.read_timeout;
+            let (deadline, retry_after) = (config.deadline, config.retry_after);
             std::thread::spawn(move || loop {
                 // Don't hold the receiver lock while serving a connection.
                 let stream = match conn_rx.lock().unwrap().recv() {
                     Ok(s) => s,
                     Err(_) => return, // acceptor gone and channel drained
                 };
-                if let Err(e) =
-                    handle_connection(stream, &index, &queue, &shutdown, read_timeout)
-                {
+                let ctx = RequestCtx {
+                    index: &index,
+                    queue: &queue,
+                    deadline,
+                    retry_after,
+                };
+                if let Err(e) = handle_connection(stream, &ctx, &shutdown, read_timeout) {
                     warn!("serve", "connection dropped: {e}");
                 }
             })
@@ -330,8 +409,7 @@ pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle
 /// shutdown.
 fn handle_connection(
     stream: TcpStream,
-    index: &TrustIndex,
-    queue: &BatchQueue,
+    ctx: &RequestCtx<'_>,
     shutdown: &AtomicBool,
     read_timeout: Duration,
 ) -> io::Result<()> {
@@ -346,19 +424,25 @@ fn handle_connection(
             Ok(Some(req)) => {
                 let started = Instant::now();
                 counter_add("serve.http.requests", 1);
-                let (status, reason, body) = route(&req, index, queue);
-                if status >= 400 {
+                let resp = route(&req, ctx);
+                if resp.status >= 400 {
                     counter_add("serve.http.errors", 1);
                 }
+                let retry_header: Vec<(&str, String)> = resp
+                    .retry_after
+                    .map(|secs| ("Retry-After", secs.to_string()))
+                    .into_iter()
+                    .collect();
                 // Finish the in-flight response even during shutdown, but
                 // don't invite another request.
                 let keep_alive = !req.wants_close() && !shutdown.load(Ordering::SeqCst);
-                write_response(
+                write_response_with(
                     &mut writer,
-                    status,
-                    reason,
+                    resp.status,
+                    resp.reason,
                     "application/json",
-                    body.to_line().as_bytes(),
+                    &retry_header,
+                    resp.body.to_line().as_bytes(),
                     keep_alive,
                 )?;
                 histogram_record("serve.request.us", started.elapsed().as_micros() as u64);
@@ -396,33 +480,31 @@ fn handle_connection(
     }
 }
 
-/// Dispatches one request to its endpoint; returns status, reason, body.
-fn route(req: &Request, index: &TrustIndex, queue: &BatchQueue) -> (u16, &'static str, Json) {
+/// Dispatches one request to its endpoint.
+///
+/// `GET /healthz` is answered inline without touching the batch queue:
+/// liveness probes keep working while scoring is shedding, degraded, or
+/// stalled.
+fn route(req: &Request, ctx: &RequestCtx<'_>) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/score") => score_endpoint(req, queue),
-        ("GET", "/topk") => topk_endpoint(req, index),
-        ("GET", "/healthz") => (
+        ("POST", "/score") => score_endpoint(req, ctx),
+        ("GET", "/topk") => topk_endpoint(req, ctx.index),
+        ("GET", "/healthz") => Response::new(
             200,
             "OK",
             Json::obj([
                 ("status", "ok".into()),
-                ("model", index.model().into()),
-                ("n_users", index.n_users().into()),
+                ("model", ctx.index.model().into()),
+                ("n_users", ctx.index.n_users().into()),
                 // Hex string: u64 fingerprints don't fit in JSON's f64.
-                ("fingerprint", format!("{:016x}", index.fingerprint()).into()),
+                ("fingerprint", format!("{:016x}", ctx.index.fingerprint()).into()),
             ]),
         ),
-        ("GET", "/metrics") => (200, "OK", metrics_snapshot_json()),
-        (_, "/score") | (_, "/topk") | (_, "/healthz") | (_, "/metrics") => (
-            405,
-            "Method Not Allowed",
-            Json::obj([("error", "method not allowed".into())]),
-        ),
-        _ => (
-            404,
-            "Not Found",
-            Json::obj([("error", "no such endpoint".into())]),
-        ),
+        ("GET", "/metrics") => Response::new(200, "OK", metrics_snapshot_json()),
+        (_, "/score") | (_, "/topk") | (_, "/healthz") | (_, "/metrics") => {
+            Response::error(405, "Method Not Allowed", "method not allowed")
+        }
+        _ => Response::error(404, "Not Found", "no such endpoint"),
     }
 }
 
@@ -450,21 +532,34 @@ fn parse_pairs(body: &[u8]) -> Result<Vec<(usize, usize)>, String> {
         .collect()
 }
 
-fn score_endpoint(req: &Request, queue: &BatchQueue) -> (u16, &'static str, Json) {
+/// A load-shed answer: `503` + `Retry-After`, counted in `serve.shed`.
+fn shed(ctx: &RequestCtx<'_>, message: &str) -> Response {
+    counter_add("serve.shed", 1);
+    Response::error(503, "Service Unavailable", message).retry_after(ctx.retry_after)
+}
+
+fn score_endpoint(req: &Request, ctx: &RequestCtx<'_>) -> Response {
+    let started = Instant::now();
+    ahntp_faultz::failpoint!("serve.request", |_inj| Response::error(
+        500,
+        "Internal Server Error",
+        "injected fault in request handling",
+    ));
     let pairs = match parse_pairs(&req.body) {
         Ok(p) => p,
-        Err(m) => return (400, "Bad Request", Json::obj([("error", m.into())])),
+        Err(m) => return Response::error(400, "Bad Request", &m),
     };
+    // Chaos hook: pretend the queue rejected the job.
+    ahntp_faultz::failpoint!("serve.enqueue", |_inj| shed(ctx, "scoring queue full"));
     let (reply_tx, reply_rx) = mpsc::channel();
-    if !queue.push(ScoreJob { pairs, reply: reply_tx }) {
-        return (
-            503,
-            "Service Unavailable",
-            Json::obj([("error", "scoring queue full".into())]),
-        );
+    if !ctx.queue.push(ScoreJob { pairs, reply: reply_tx }) {
+        return shed(ctx, "scoring queue full");
     }
-    match reply_rx.recv() {
-        Ok(Ok(scores)) => (
+    // The deadline budget started when the request began parsing; wait
+    // only for what is left of it.
+    let remaining = ctx.deadline.saturating_sub(started.elapsed());
+    match reply_rx.recv_timeout(remaining) {
+        Ok(Ok(scores)) => Response::new(
             200,
             "OK",
             Json::obj([(
@@ -472,31 +567,34 @@ fn score_endpoint(req: &Request, queue: &BatchQueue) -> (u16, &'static str, Json
                 Json::Arr(scores.into_iter().map(Json::from).collect()),
             )]),
         ),
-        Ok(Err(e)) => (400, "Bad Request", Json::obj([("error", e.to_string().into())])),
+        Ok(Err(e)) => Response::error(400, "Bad Request", &e.to_string()),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            // The job may still complete inside the batcher; the reply
+            // channel is simply dropped and its send ignored.
+            counter_add("serve.deadline_exceeded", 1);
+            Response::error(504, "Gateway Timeout", "scoring deadline exceeded")
+                .retry_after(ctx.retry_after)
+        }
         // Batcher went away mid-flight (shutdown race): overloaded-style
         // answer rather than a hung worker.
-        Err(_) => (
-            503,
-            "Service Unavailable",
-            Json::obj([("error", "scoring backend stopped".into())]),
-        ),
+        Err(mpsc::RecvTimeoutError::Disconnected) => shed(ctx, "scoring backend stopped"),
     }
 }
 
-fn topk_endpoint(req: &Request, index: &TrustIndex) -> (u16, &'static str, Json) {
+fn topk_endpoint(req: &Request, index: &TrustIndex) -> Response {
     let user = match req.query_usize("user") {
         Ok(u) => u,
-        Err(m) => return (400, "Bad Request", Json::obj([("error", m.into())])),
+        Err(m) => return Response::error(400, "Bad Request", &m),
     };
     let k = match req.query.get("k") {
         Some(_) => match req.query_usize("k") {
             Ok(k) => k,
-            Err(m) => return (400, "Bad Request", Json::obj([("error", m.into())])),
+            Err(m) => return Response::error(400, "Bad Request", &m),
         },
         None => 10,
     };
     match index.top_k_trustees(user, k) {
-        Ok(top) => (
+        Ok(top) => Response::new(
             200,
             "OK",
             Json::obj([
@@ -513,7 +611,7 @@ fn topk_endpoint(req: &Request, index: &TrustIndex) -> (u16, &'static str, Json)
                 ),
             ]),
         ),
-        Err(e) => (400, "Bad Request", Json::obj([("error", e.to_string().into())])),
+        Err(e) => Response::error(400, "Bad Request", &e.to_string()),
     }
 }
 
@@ -758,5 +856,67 @@ mod tests {
         queue.stop();
         let (tx, _rx) = mpsc::channel();
         assert!(!queue.push(ScoreJob { pairs: vec![(0, 0)], reply: tx }));
+    }
+
+    fn score_request() -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: "/score".to_string(),
+            query: std::collections::BTreeMap::new(),
+            headers: std::collections::BTreeMap::new(),
+            body: br#"{"pairs":[[0,1]]}"#.to_vec(),
+        }
+    }
+
+    #[test]
+    fn deadline_and_shed_responses_carry_retry_after() {
+        ahntp_telemetry::set_enabled(true);
+        let index = toy_index(4);
+        // Capacity-1 queue with no batcher: the first job is accepted but
+        // never answered (deadline path), which leaves the queue full so
+        // the second job is shed.
+        let queue = BatchQueue::new(1);
+        let ctx = RequestCtx {
+            index: &index,
+            queue: &queue,
+            deadline: Duration::from_millis(20),
+            retry_after: Duration::from_secs(2),
+        };
+        let deadline0 = ahntp_telemetry::counter_get("serve.deadline_exceeded");
+        let shed0 = ahntp_telemetry::counter_get("serve.shed");
+        let resp = score_endpoint(&score_request(), &ctx);
+        assert_eq!(resp.status, 504, "{}", resp.body.to_line());
+        assert_eq!(resp.retry_after, Some(2));
+        assert!(ahntp_telemetry::counter_get("serve.deadline_exceeded") > deadline0);
+        let resp = score_endpoint(&score_request(), &ctx);
+        assert_eq!(resp.status, 503, "{}", resp.body.to_line());
+        assert_eq!(resp.retry_after, Some(2));
+        assert!(ahntp_telemetry::counter_get("serve.shed") > shed0);
+    }
+
+    #[test]
+    fn healthz_bypasses_the_scoring_queue() {
+        let index = toy_index(3);
+        let queue = BatchQueue::new(1);
+        queue.stop(); // scoring is completely dead...
+        let ctx = RequestCtx {
+            index: &index,
+            queue: &queue,
+            deadline: Duration::from_millis(5),
+            retry_after: Duration::from_secs(1),
+        };
+        let req = Request {
+            method: "GET".to_string(),
+            path: "/healthz".to_string(),
+            query: std::collections::BTreeMap::new(),
+            headers: std::collections::BTreeMap::new(),
+            body: Vec::new(),
+        };
+        let resp = route(&req, &ctx);
+        assert_eq!(resp.status, 200, "...but liveness still answers");
+        // While /score correctly sheds.
+        let resp = route(&score_request(), &ctx);
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after, Some(1));
     }
 }

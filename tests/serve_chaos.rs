@@ -1,0 +1,304 @@
+//! Chaos suite for the serving stack: armed failpoints (`ahntp-faultz`)
+//! inject delays, errors, and queue rejections into a live server, and
+//! every failure mode must stay inside the fault-tolerance contract —
+//! shed requests answer `503` with `Retry-After`, slow batches never hang
+//! a client past the per-request deadline (`504` + `Retry-After`), the
+//! batcher degrades to per-pair scoring instead of failing, `/healthz`
+//! stays live throughout, and the metrics snapshot accounts for every
+//! injected event.
+//!
+//! Failpoints are process-global, so every test serializes on a
+//! file-local gate.
+
+use ahntp_bench::loadgen::{http_request, run_load, LoadConfig};
+use ahntp_faultz::{self as faultz, Action, FaultSpec};
+use ahntp_serve::{serve, ServeConfig, ServerHandle, TrustIndex};
+use ahntp_telemetry::json::{parse, Json};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+const N_USERS: usize = 16;
+
+fn toy_index() -> TrustIndex {
+    let row = |i: usize| {
+        let a = i as f32 * 0.7;
+        vec![a.cos(), a.sin()]
+    };
+    let artifact = ahntp_nn::TrustArtifact {
+        model: "AHNTP".to_string(),
+        fingerprint: 0xfeed_beef_0000_0002,
+        calibration: 0.5,
+        n_users: N_USERS,
+        emb_dim: 2,
+        head_dim: 2,
+        embeddings: vec![0.0; N_USERS * 2],
+        trustor_head: (0..N_USERS).flat_map(row).collect(),
+        trustee_head: (0..N_USERS).rev().flat_map(row).collect(),
+    };
+    TrustIndex::from_artifact(artifact).expect("toy artifact is valid")
+}
+
+fn start(deadline: Duration) -> ServerHandle {
+    ahntp_telemetry::set_enabled(true);
+    serve(
+        toy_index(),
+        &ServeConfig {
+            workers: 2,
+            deadline,
+            retry_after: Duration::from_secs(2),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback")
+}
+
+/// One-shot HTTP exchange that also captures response headers
+/// (lower-cased names) — `http_request` in the loadgen drops them.
+fn exchange(addr: SocketAddr, request: &str) -> (u16, BTreeMap<String, String>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut reader = BufReader::new(&mut stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        if line.trim_end().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    let len: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).expect("body");
+    (status, headers, String::from_utf8(body).expect("utf-8 body"))
+}
+
+fn post_score(addr: SocketAddr, body: &str) -> (u16, BTreeMap<String, String>, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST /score HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, BTreeMap<String, String>, String) {
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn metric(addr: SocketAddr, name: &str) -> f64 {
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200, "{body}");
+    parse(&body)
+        .expect("metrics JSON")
+        .get(name)
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// A batch delay far past the deadline: the client gets `504` +
+/// `Retry-After` within the deadline budget instead of hanging, and
+/// `/healthz` (which never touches the queue) stays live throughout.
+#[test]
+fn injected_batch_delay_never_hangs_a_client_past_the_deadline() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let server = start(Duration::from_millis(100));
+    let addr = server.addr();
+    let _fault = faultz::scoped("serve.batch", FaultSpec::new(Action::Delay(400)));
+
+    let started = Instant::now();
+    let (status, headers, body) = post_score(addr, r#"{"pairs":[[0,1]]}"#);
+    let elapsed = started.elapsed();
+    assert_eq!(status, 504, "{body}");
+    assert_eq!(headers.get("retry-after").map(String::as_str), Some("2"));
+    assert!(body.contains("deadline"), "{body}");
+    assert!(
+        elapsed < Duration::from_millis(350),
+        "client waited {elapsed:?} — past the 100ms deadline and into the injected delay"
+    );
+
+    // Liveness is queue-independent: healthz answers while scoring stalls.
+    let (status, _, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+
+    assert!(metric(addr, "serve.deadline_exceeded") >= 1.0);
+    assert!(metric(addr, "faultz.triggered") >= 1.0);
+    server.shutdown();
+}
+
+/// An erroring batch kernel degrades to per-pair scoring: clients still
+/// get correct `200` answers, and `serve.degraded` counts the fallback.
+#[test]
+fn injected_batch_error_degrades_to_per_pair_scoring() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let server = start(Duration::from_secs(2));
+    let addr = server.addr();
+    let degraded_before = metric(addr, "serve.degraded");
+    let _fault = faultz::scoped("serve.batch", FaultSpec::new(Action::Err));
+
+    let (status, _, body) = post_score(addr, r#"{"pairs":[[0,1],[2,5],[3,3]]}"#);
+    assert_eq!(status, 200, "degraded mode must still answer: {body}");
+    let doc = parse(&body).expect("score JSON");
+    let Some(Json::Arr(scores)) = doc.get("scores") else {
+        panic!("no scores in {body}");
+    };
+    let index = toy_index();
+    let expected = index.score_pairs(&[(0, 1), (2, 5), (3, 3)]).unwrap();
+    assert_eq!(scores.len(), expected.len());
+    for (got, want) in scores.iter().zip(&expected) {
+        let got = got.as_f64().unwrap();
+        assert!(
+            (got - f64::from(*want)).abs() < 1e-6,
+            "degraded score {got} vs batched {want}"
+        );
+    }
+    assert!(metric(addr, "serve.degraded") > degraded_before);
+    server.shutdown();
+}
+
+/// A rejected enqueue sheds the request: `503` + `Retry-After`, counted
+/// in `serve.shed`, with `/healthz` unaffected.
+#[test]
+fn injected_enqueue_rejection_sheds_with_retry_after() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let server = start(Duration::from_secs(2));
+    let addr = server.addr();
+    let shed_before = metric(addr, "serve.shed");
+    let _fault = faultz::scoped("serve.enqueue", FaultSpec::new(Action::Err));
+
+    let (status, headers, body) = post_score(addr, r#"{"pairs":[[0,1]]}"#);
+    assert_eq!(status, 503, "{body}");
+    assert_eq!(headers.get("retry-after").map(String::as_str), Some("2"));
+    assert!(body.contains("queue full"), "{body}");
+    let (status, _, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(metric(addr, "serve.shed") > shed_before);
+    server.shutdown();
+}
+
+/// An `nth`-gated request fault fires exactly once: the first request
+/// answers `500`, the next is served normally, and the per-site counter
+/// records exactly one trigger.
+#[test]
+fn nth_gated_request_fault_fires_exactly_once() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let server = start(Duration::from_secs(2));
+    let addr = server.addr();
+    let triggered_before = metric(addr, "faultz.serve.request.triggered");
+    let _fault = faultz::scoped("serve.request", FaultSpec::new(Action::Err).on_nth(1));
+
+    let (status, _, body) = post_score(addr, r#"{"pairs":[[0,1]]}"#);
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("injected"), "{body}");
+    let (status, _, body) = post_score(addr, r#"{"pairs":[[0,1]]}"#);
+    assert_eq!(status, 200, "second request must be clean: {body}");
+    assert_eq!(
+        metric(addr, "faultz.serve.request.triggered") - triggered_before,
+        1.0,
+        "the nth(1) gate must fire exactly once"
+    );
+    server.shutdown();
+}
+
+/// Socket-fault injection: an armed `serve.read` drops connections (the
+/// worker treats it as an I/O failure) without wedging the server — once
+/// disarmed, the same server serves normally again.
+#[test]
+fn injected_read_faults_drop_connections_but_not_the_server() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let server = start(Duration::from_secs(2));
+    let addr = server.addr();
+    {
+        let _fault = faultz::scoped("serve.read", FaultSpec::new(Action::Err));
+        // The worker aborts the connection before reading the request;
+        // the client sees EOF instead of a response.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("send");
+        let mut response = String::new();
+        let _ = BufReader::new(&stream).read_to_string(&mut response);
+        assert!(
+            response.is_empty(),
+            "connection should have been dropped, got {response:?}"
+        );
+    }
+    // Disarmed: the same server answers again.
+    let (status, _, _) = get(addr, "/healthz");
+    assert_eq!(status, 200, "server must survive injected read faults");
+    server.shutdown();
+}
+
+/// The loadgen under a 10ms injected batch delay: every request is
+/// answered (completed or failed, never hung), and the run finishes in
+/// bounded time. Prints baseline-vs-chaos numbers for EXPERIMENTS.md.
+#[test]
+fn loadgen_under_injected_delay_answers_every_request() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let cfg = LoadConfig {
+        connections: 3,
+        requests_per_connection: 25,
+        pairs_per_request: 4,
+        n_users: N_USERS,
+    };
+    let total = cfg.connections * cfg.requests_per_connection;
+
+    let server = start(Duration::from_millis(200));
+    let baseline = run_load(server.addr(), &cfg);
+    server.shutdown();
+    assert_eq!(baseline.completed + baseline.failed, total);
+
+    let server = start(Duration::from_millis(200));
+    let addr = server.addr();
+    let chaos = {
+        let _fault = faultz::scoped("serve.batch", FaultSpec::new(Action::Delay(10)));
+        run_load(addr, &cfg)
+    };
+    let deadline_exceeded = metric(addr, "serve.deadline_exceeded");
+    let shed = metric(addr, "serve.shed");
+    server.shutdown();
+    assert_eq!(
+        chaos.completed + chaos.failed,
+        total,
+        "every request must be answered under injected delay"
+    );
+    // With a 10ms delay per batch and a 200ms deadline, most requests
+    // still complete; the rest must be accounted for as deadline/shed.
+    assert!(
+        chaos.completed > 0,
+        "nothing completed under a 10ms delay: {}",
+        chaos.summary()
+    );
+    println!("baseline: {}", baseline.summary());
+    println!("delay(10): {}", chaos.summary());
+    println!("deadline_exceeded={deadline_exceeded} shed={shed}");
+
+    // A clean one-shot request after all chaos: the stack is still whole.
+    let server = start(Duration::from_secs(2));
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    let (status, body) = http_request(&mut conn, "POST", "/score", r#"{"pairs":[[1,2]]}"#)
+        .expect("clean request");
+    assert_eq!(status, 200, "{body}");
+    server.shutdown();
+}
