@@ -1,0 +1,108 @@
+//! `profile` — per-kernel attribution of AHNTP training wall-clock.
+//!
+//! Trains AHNTP on the Ciao-like dataset with the epoch profiler on
+//! (`ahntp_telemetry::set_profiling`) and prints one markdown row per
+//! epoch attributing that epoch's wall time to kernel families
+//! (matmul / csr / elementwise / reduction / cache_build / score /
+//! other), plus a totals row and one machine-readable `BENCH {json}`
+//! line. The per-kernel numbers are *self* times from the hierarchical
+//! span stack, so each row sums to ≤ its epoch wall-clock — the
+//! remainder is unattributed time (autograd bookkeeping, optimizer
+//! scalar loops, allocator).
+//!
+//! Scale knobs as in the other benches (`AHNTP_EPOCHS`, `AHNTP_USERS_*`,
+//! `AHNTP_THREADS`); set `AHNTP_TRACE_OUT=trace.json` to also get the
+//! run's Chrome trace.
+
+use ahntp::Ahntp;
+use ahntp_bench::{ahntp_config, print_row, Dataset, Scale};
+use ahntp_eval::{train_and_evaluate_observed, EpochStats, TrainObserver};
+use ahntp_telemetry::json::Json;
+use ahntp_telemetry::{KernelKind, KernelProfile};
+
+struct Collect {
+    epochs: Vec<EpochStats>,
+}
+
+impl TrainObserver for Collect {
+    fn on_epoch(&mut self, stats: &EpochStats) {
+        self.epochs.push(*stats);
+    }
+}
+
+fn main() {
+    ahntp_telemetry::set_enabled(true);
+    ahntp_telemetry::set_profiling(true);
+    let scale = Scale::from_env();
+    let threads = ahntp_par::threads();
+
+    let ds = Dataset::Ciao.generate(&scale);
+    let split = ds.split(0.8, 0.2, 2, scale.seed);
+    let mut model = Ahntp::new(
+        &ds.features,
+        &ds.attributes,
+        &split.train_graph,
+        &ahntp_config(&scale),
+    );
+    let mut collect = Collect { epochs: Vec::new() };
+    let report = train_and_evaluate_observed(
+        &mut model,
+        &split.train,
+        &split.test,
+        &scale.train_config(),
+        &mut collect,
+    );
+
+    println!("# profile — per-kernel epoch breakdown (AHNTP, Ciao, {threads} threads)");
+    println!();
+    let mut header = vec!["Epoch".to_string(), "wall µs".to_string()];
+    header.extend(KernelKind::all().iter().map(|k| k.label().to_string()));
+    header.push("accounted".to_string());
+    print_row(&header);
+    print_row(&vec!["---".into(); header.len()]);
+
+    let mut total = KernelProfile::default();
+    let mut total_wall = 0u64;
+    for stats in &collect.epochs {
+        let profile = stats.profile.expect("profiling is on");
+        assert!(
+            profile.total_us() <= stats.wall_us.max(1),
+            "self times must telescope: {} > {}",
+            profile.total_us(),
+            stats.wall_us
+        );
+        let mut row = vec![stats.epoch.to_string(), stats.wall_us.to_string()];
+        row.extend(profile.iter().map(|(_, us)| us.to_string()));
+        row.push(format!(
+            "{:.0}%",
+            100.0 * profile.total_us() as f64 / stats.wall_us.max(1) as f64
+        ));
+        print_row(&row);
+        for (i, (_, us)) in profile.iter().enumerate() {
+            total.us[i] += us;
+        }
+        total_wall += stats.wall_us;
+    }
+    let mut row = vec!["total".to_string(), total_wall.to_string()];
+    row.extend(total.iter().map(|(_, us)| us.to_string()));
+    row.push(format!(
+        "{:.0}%",
+        100.0 * total.total_us() as f64 / total_wall.max(1) as f64
+    ));
+    print_row(&row);
+
+    let line = Json::obj([
+        ("bench", "profile".into()),
+        ("model", "AHNTP".into()),
+        ("threads", threads.into()),
+        ("epochs", collect.epochs.len().into()),
+        ("wall_us", total_wall.into()),
+        ("final_loss", f64::from(report.final_loss).into()),
+        ("profile", total.to_json()),
+    ]);
+    println!("BENCH {}", line.to_line());
+
+    if let Some(path) = ahntp_telemetry::flush_trace_to_env() {
+        eprintln!("trace written to {}", path.display());
+    }
+}

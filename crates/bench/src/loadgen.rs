@@ -51,6 +51,10 @@ pub struct LoadReport {
     pub mean_us: f64,
     /// Completed requests per wall-clock second across all connections.
     pub throughput_rps: f64,
+    /// `X-Ahntp-Trace-Id` of one of the answered requests (the server
+    /// stamps every response) — lets smoke harnesses assert trace
+    /// propagation end to end.
+    pub sample_trace_id: Option<String>,
 }
 
 impl LoadReport {
@@ -77,6 +81,34 @@ pub fn http_request(
     target: &str,
     body: &str,
 ) -> std::io::Result<(u16, String)> {
+    let resp = http_request_headers(stream, method, target, body)?;
+    Ok((resp.status, resp.body))
+}
+
+/// A parsed HTTP response: status code, headers as lowercase
+/// `(name, value)` pairs, and the body.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body (decoded to UTF-8).
+    pub body: String,
+}
+
+/// As [`http_request`], but also returns the response headers —
+/// e.g. to read `X-Ahntp-Trace-Id`.
+///
+/// # Errors
+///
+/// As [`http_request`].
+pub fn http_request_headers(
+    stream: &mut TcpStream,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> std::io::Result<HttpResponse> {
     let request = format!(
         "{method} {target} HTTP/1.1\r\nContent-Type: application/json\r\n\
          Content-Length: {}\r\n\r\n{body}",
@@ -96,6 +128,7 @@ pub fn http_request(
                 format!("bad status line {status_line:?}"),
             )
         })?;
+    let mut headers = Vec::new();
     let mut content_length = 0usize;
     loop {
         let mut line = String::new();
@@ -105,17 +138,26 @@ pub fn http_request(
         if line.trim_end().is_empty() {
             break;
         }
-        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
-            content_length = v.trim().parse().map_err(|_| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
-            })?;
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+            headers.push((name, value));
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     let body = String::from_utf8(body)
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
-    Ok((status, body))
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
 }
 
 /// Deterministic pair pattern for connection `conn`, request `req`: spreads
@@ -146,9 +188,12 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
             std::thread::spawn(move || {
                 let mut latencies: Vec<u64> = Vec::new();
                 let mut failed = 0usize;
+                let mut trace_id: Option<String> = None;
                 let mut stream = match TcpStream::connect(addr) {
                     Ok(s) => s,
-                    Err(_) => return (false, latencies, config.requests_per_connection),
+                    Err(_) => {
+                        return (false, latencies, config.requests_per_connection, trace_id)
+                    }
                 };
                 // Small request frames: without TCP_NODELAY the closed loop
                 // measures Nagle's ~40ms, not the server.
@@ -161,14 +206,21 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
                         config.n_users,
                     );
                     let sent = Instant::now();
-                    match http_request(&mut stream, "POST", "/score", &body) {
-                        Ok((200, _)) => {
+                    match http_request_headers(&mut stream, "POST", "/score", &body) {
+                        Ok(resp) if resp.status == 200 => {
                             latencies.push(sent.elapsed().as_micros() as u64);
+                            if trace_id.is_none() {
+                                trace_id = resp
+                                    .headers
+                                    .into_iter()
+                                    .find(|(n, _)| n == "x-ahntp-trace-id")
+                                    .map(|(_, v)| v);
+                            }
                         }
                         Ok(_) | Err(_) => failed += 1,
                     }
                 }
-                (true, latencies, failed)
+                (true, latencies, failed, trace_id)
             })
         })
         .collect();
@@ -176,11 +228,13 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
     let mut latencies: Vec<u64> = Vec::new();
     let mut failed = 0usize;
     let mut connected = false;
+    let mut sample_trace_id = None;
     for w in workers {
-        let (ok, mut l, f) = w.join().expect("load worker panicked");
+        let (ok, mut l, f, trace_id) = w.join().expect("load worker panicked");
         connected |= ok;
         latencies.append(&mut l);
         failed += f;
+        sample_trace_id = sample_trace_id.or(trace_id);
     }
     assert!(connected, "load generator could not reach {addr}");
     let wall = started.elapsed().max(Duration::from_micros(1));
@@ -206,6 +260,7 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
         p99_us: percentile(0.99),
         mean_us,
         throughput_rps: completed as f64 / wall.as_secs_f64(),
+        sample_trace_id,
     }
 }
 

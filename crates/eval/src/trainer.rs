@@ -85,6 +85,11 @@ pub struct EpochStats {
     /// model's optimizer published one (`train.grad_norm` gauge). `None`
     /// for models that don't run a gradient optimizer.
     pub grad_norm: Option<f64>,
+    /// Per-kernel *self*-time attribution of this epoch's wall-clock,
+    /// present when profiling is on (`AHNTP_PROFILE=1` or
+    /// `ahntp_telemetry::set_profiling`). Self times telescope, so
+    /// `profile.total_us() <= wall_us` (up to µs truncation).
+    pub profile: Option<ahntp_telemetry::KernelProfile>,
 }
 
 /// Observer hooks for the training loop. All methods default to no-ops, so
@@ -176,11 +181,12 @@ impl TrainObserver for LedgerObserver {
 
     fn on_epoch(&mut self, stats: &EpochStats) {
         if let Some(ledger) = &mut self.ledger {
-            ledger.epoch(
+            ledger.epoch_profiled(
                 stats.epoch,
                 f64::from(stats.loss),
                 stats.wall_us,
                 stats.grad_norm.unwrap_or(f64::NAN), // serialized as null
+                stats.profile.as_ref().map(ahntp_telemetry::KernelProfile::to_json),
             );
         }
     }
@@ -300,9 +306,15 @@ pub(crate) fn training_loop<M: TrustModel + ?Sized>(
             break;
         }
         ahntp_faultz::enforce("train.epoch");
+        // Snapshot the kernel accumulators around the epoch so its
+        // wall-clock can be attributed per kernel (see `EpochStats`).
+        let profile_before = ahntp_telemetry::profiling_enabled()
+            .then(ahntp_telemetry::profile_snapshot);
         let started = Instant::now();
         let loss = run_epoch(model, epoch);
         let wall_us = started.elapsed().as_micros() as u64;
+        let profile = profile_before
+            .map(|before| ahntp_telemetry::profile_snapshot().delta_since(&before));
         if !loss.is_finite() {
             let provenance = ahntp_telemetry::first_nonfinite()
                 .map(|e| {
@@ -326,6 +338,7 @@ pub(crate) fn training_loop<M: TrustModel + ?Sized>(
             loss,
             wall_us,
             grad_norm: ahntp_telemetry::gauge_get("train.grad_norm"),
+            profile,
         };
         ahntp_telemetry::debug!(
             "train",
@@ -384,6 +397,9 @@ pub(crate) fn training_loop<M: TrustModel + ?Sized>(
         epochs_run,
     };
     observer.on_finish(&report);
+    // With AHNTP_TRACE_OUT set, a finished training run leaves a readable
+    // Chrome trace even if the process keeps going (no-op otherwise).
+    ahntp_telemetry::flush_trace_to_env();
     report
 }
 

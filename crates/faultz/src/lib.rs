@@ -330,6 +330,9 @@ pub fn hit(site: &str) -> Option<Injected> {
     };
     ahntp_telemetry::counter_add("faultz.triggered", 1);
     ahntp_telemetry::counter_add(&format!("faultz.{site}.triggered"), 1);
+    // Mark the trigger in the Chrome trace so injected faults line up
+    // with the spans they perturbed.
+    ahntp_telemetry::trace_instant("faultz", site);
     match action {
         Action::Err => {
             ahntp_telemetry::warn!("faultz", "failpoint `{site}`: injecting error");

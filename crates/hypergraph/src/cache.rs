@@ -113,6 +113,10 @@ impl AggregationCache {
         }
         ahntp_telemetry::counter_add("hypergraph.cache.misses", 1);
         ahntp_faultz::enforce("hypergraph.cache.build");
+        let _k = ahntp_telemetry::KernelSpan::enter(
+            "hypergraph.cache.build",
+            ahntp_telemetry::KernelKind::CacheBuild,
+        );
         let ops = Rc::new(AggregationOps::full(&self.h));
         ahntp_telemetry::gauge_set(
             "hypergraph.cache.resident_rows",
@@ -141,6 +145,10 @@ impl AggregationCache {
         }
         ahntp_telemetry::counter_add("hypergraph.cache.misses", 1);
         ahntp_faultz::enforce("hypergraph.cache.slice");
+        let _k = ahntp_telemetry::KernelSpan::enter(
+            "hypergraph.cache.slice",
+            ahntp_telemetry::KernelKind::CacheBuild,
+        );
         let (inc, v2e) = &*self.full_slice_inputs();
         let ops = Rc::new(AggregationOps::sliced_from(inc, v2e, edge_ids));
         ahntp_telemetry::gauge_set(
@@ -158,6 +166,10 @@ impl AggregationCache {
             return Rc::clone(lap);
         }
         ahntp_telemetry::counter_add("hypergraph.cache.misses", 1);
+        let _k = ahntp_telemetry::KernelSpan::enter(
+            "hypergraph.cache.laplacian",
+            ahntp_telemetry::KernelKind::CacheBuild,
+        );
         let lap = Rc::new(self.h.laplacian());
         *self.full_lap.borrow_mut() = Some(Rc::clone(&lap));
         lap
@@ -181,6 +193,10 @@ impl AggregationCache {
             }
         }
         ahntp_telemetry::counter_add("hypergraph.cache.misses", 1);
+        let _k = ahntp_telemetry::KernelSpan::enter(
+            "hypergraph.cache.laplacian_slice",
+            ahntp_telemetry::KernelKind::CacheBuild,
+        );
         let lap = Rc::new(self.h.laplacian_for_edges(edge_ids));
         *self.slice_lap.borrow_mut() = Some((edge_ids.to_vec(), Rc::clone(&lap)));
         lap

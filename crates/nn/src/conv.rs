@@ -121,6 +121,8 @@ impl HypergraphConv {
     /// or a sampled hyperedge slice from the same hypergraph (mini-batch
     /// training). With the full set this is exactly [`Self::forward`].
     pub fn forward_on(&self, s: &Session, ops: &AggregationOps, x: &Var) -> Var {
+        let _span =
+            ahntp_telemetry::KernelSpan::enter("nn.hconv.forward", ahntp_telemetry::KernelKind::Other);
         let g = s.graph();
         // Eq. 10: hyperedge messages by mean aggregation.
         let mess_e = g.spmm(&ops.v2e, x);
@@ -236,6 +238,10 @@ impl AdaptiveHypergraphConv {
     /// or a sampled hyperedge slice from the same hypergraph (mini-batch
     /// training). With the full set this is exactly [`Self::forward`].
     pub fn forward_on(&self, s: &Session, ops: &AggregationOps, x: &Var) -> Var {
+        let _span = ahntp_telemetry::KernelSpan::enter(
+            "nn.adaptive_hconv.forward",
+            ahntp_telemetry::KernelKind::Other,
+        );
         let g = s.graph();
         // Eqs. 10–11 as in the base layer.
         let mess_e = g.spmm(&ops.v2e, x);

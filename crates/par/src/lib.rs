@@ -226,6 +226,10 @@ fn run_tasks<'a>(tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
     let pool = pool();
     ensure_workers(pool, threads() - 1);
 
+    // Capture the submitting thread's trace position (trace id + innermost
+    // span) so worker-side spans reparent to the task that spawned them.
+    // All-zero and free when tracing is inactive.
+    let trace_ctx = ahntp_telemetry::trace_context();
     let batch = Arc::new(Batch {
         remaining: Mutex::new(n),
         done: Condvar::new(),
@@ -236,7 +240,9 @@ fn run_tasks<'a>(tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
         for task in tasks {
             let batch = Arc::clone(&batch);
             let wrapped: Box<dyn FnOnce() + Send + 'a> = Box::new(move || {
-                let result = catch_unwind(AssertUnwindSafe(task));
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    ahntp_telemetry::with_trace_context(trace_ctx, task)
+                }));
                 if let Err(payload) = result {
                     let mut slot = batch.panic.lock().unwrap();
                     slot.get_or_insert(payload);

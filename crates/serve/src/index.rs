@@ -156,6 +156,10 @@ impl TrustIndex {
     ///
     /// Fails on the first out-of-range id; no partial results.
     pub fn score_pairs(&self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, ScoreError> {
+        let _k = ahntp_telemetry::KernelSpan::enter(
+            "serve.score_pairs",
+            ahntp_telemetry::KernelKind::Score,
+        );
         for &(u, v) in pairs {
             self.check(u)?;
             self.check(v)?;
@@ -214,6 +218,10 @@ impl TrustIndex {
         trustor: usize,
         k: usize,
     ) -> Result<Vec<(usize, f32)>, ScoreError> {
+        let _k = ahntp_telemetry::KernelSpan::enter(
+            "serve.topk",
+            ahntp_telemetry::KernelKind::Score,
+        );
         self.check(trustor)?;
         let n = self.artifact.n_users;
         let ranked = if ahntp_par::par_enabled(2 * n * self.artifact.head_dim) && n >= 2 {

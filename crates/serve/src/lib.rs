@@ -16,12 +16,28 @@
 //!   batcher thread, and cooperative graceful shutdown that finishes
 //!   in-flight requests. Endpoints: `POST /score`, `GET /topk`,
 //!   `GET /healthz`, `GET /metrics` (all JSON, via
-//!   `ahntp_telemetry::json`).
+//!   `ahntp_telemetry::json`), plus the observability surface below.
 //!
 //! Request latency (`serve.request.us`), batch sizes
 //! (`serve.score.batch_size`), queue depth (`serve.queue.depth`) and
 //! request/error counters land in the `ahntp_telemetry` metrics registry,
 //! so `GET /metrics` and the training run ledger share one vocabulary.
+//!
+//! # Observability
+//!
+//! Every request is assigned a trace id, echoed back in the
+//! `X-Ahntp-Trace-Id` response header and recorded (with the request's
+//! per-stage timing breakdown) in a bounded in-memory ring served at
+//! `GET /debug/traces`. When trace collection is on
+//! (`AHNTP_TRACE_OUT`, or `ahntp_telemetry::set_trace_collect`), each
+//! request also emits Chrome trace events — one `serve.request` span per
+//! request with its queue/batch/score stages nested under the same trace
+//! id — retrievable live at `GET /debug/trace.json` or written to
+//! `AHNTP_TRACE_OUT` on shutdown. `GET /metrics?format=prometheus` and
+//! `GET /metrics/prometheus` expose the registry in Prometheus text
+//! format. An access-log line per request is emitted at `debug` level
+//! under the `serve.access` target (off by default; enable with
+//! `AHNTP_LOG=serve.access=debug`).
 //!
 //! # Threads
 //!
@@ -51,6 +67,7 @@
 pub mod http;
 mod index;
 mod server;
+mod trace_ring;
 
 pub use index::{ScoreError, TrustIndex};
 pub use server::{serve, ServeConfig, ServerHandle};

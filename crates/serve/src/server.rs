@@ -20,6 +20,20 @@
 //! `serve.http.errors` counters, `serve.request.us` latency histogram,
 //! `serve.score.batch_size` histogram, and the `serve.queue.depth` gauge.
 //!
+//! # Tracing
+//!
+//! Each request is stamped with a fresh trace id
+//! ([`ahntp_telemetry::next_trace_id`]) that travels with the scoring job
+//! through the queue into the batcher and back: the worker installs it as
+//! the thread's ambient id while handling the request, answers with an
+//! `X-Ahntp-Trace-Id` header, and records the request (with its
+//! parse / enqueue / queue-wait / score stage timings) in the
+//! [`TraceRing`](crate::trace_ring::TraceRing) behind `GET /debug/traces`.
+//! With trace collection on, the same stages are emitted as Chrome trace
+//! events on a per-request virtual lane (`pid` 2, `tid` = trace id), so a
+//! loadgen run opened in Perfetto shows every request as one
+//! `serve.request` span with its stages nested inside.
+//!
 //! # Fault tolerance
 //!
 //! Every `/score` request carries a deadline ([`ServeConfig::deadline`]):
@@ -45,11 +59,13 @@ use std::time::{Duration, Instant};
 
 use ahntp_telemetry::json::{parse, Json};
 use ahntp_telemetry::{
-    counter_add, gauge_set, histogram_record, info, metrics_snapshot_json, warn,
+    counter_add, debug, gauge_set, histogram_record, info, metrics_prometheus_text,
+    metrics_snapshot_json, trace_now_us, warn, KernelKind, KernelSpan,
 };
 
 use crate::http::{read_request, write_response, write_response_with, HttpError, Request};
 use crate::index::{ScoreError, TrustIndex};
+use crate::trace_ring::{RequestTrace, Stage, TraceRing};
 
 /// Tuning knobs for [`serve`].
 #[derive(Debug, Clone)]
@@ -81,6 +97,9 @@ pub struct ServeConfig {
     /// Value of the `Retry-After` header (whole seconds, minimum 1) on
     /// load-shed (`503`) and deadline (`504`) responses.
     pub retry_after: Duration,
+    /// How many recently served requests `GET /debug/traces` retains
+    /// (per-request stage timings, newest last). Minimum 1.
+    pub trace_ring: usize,
 }
 
 impl Default for ServeConfig {
@@ -95,22 +114,37 @@ impl Default for ServeConfig {
             threads: 0,
             deadline: Duration::from_secs(2),
             retry_after: Duration::from_secs(1),
+            trace_ring: 128,
         }
     }
 }
 
 /// One endpoint answer: status line plus JSON body, with an optional
-/// `Retry-After` value (seconds) for backpressure responses.
+/// `Retry-After` value (seconds) for backpressure responses. Text
+/// endpoints (Prometheus exposition, raw Chrome trace JSON) carry a
+/// pre-rendered body instead of a [`Json`] document.
 struct Response {
     status: u16,
     reason: &'static str,
     body: Json,
+    /// `(content_type, body)` override; when set, wins over `body`.
+    text: Option<(&'static str, String)>,
     retry_after: Option<u64>,
 }
 
 impl Response {
     fn new(status: u16, reason: &'static str, body: Json) -> Response {
-        Response { status, reason, body, retry_after: None }
+        Response { status, reason, body, text: None, retry_after: None }
+    }
+
+    fn text(content_type: &'static str, body: String) -> Response {
+        Response {
+            status: 200,
+            reason: "OK",
+            body: Json::Null,
+            text: Some((content_type, body)),
+            retry_after: None,
+        }
     }
 
     fn error(status: u16, reason: &'static str, message: &str) -> Response {
@@ -127,14 +161,30 @@ impl Response {
 struct RequestCtx<'a> {
     index: &'a TrustIndex,
     queue: &'a BatchQueue,
+    traces: &'a TraceRing,
     deadline: Duration,
     retry_after: Duration,
+}
+
+/// What the batcher sends back for one job: the scores plus the
+/// timestamps the requesting worker needs to attribute its wait.
+struct ScoreReply {
+    result: Result<Vec<f32>, ScoreError>,
+    /// When the batcher drained the job from the queue.
+    picked_up_us: u64,
+    /// When the batch's scoring finished.
+    scored_us: u64,
+    /// Whether the batch fell back to per-pair scalar scoring.
+    degraded: bool,
 }
 
 /// One queued `POST /score` request.
 struct ScoreJob {
     pairs: Vec<(usize, usize)>,
-    reply: mpsc::Sender<Result<Vec<f32>, ScoreError>>,
+    /// Trace id of the originating request; carried through the queue so
+    /// the batcher works under the requester's id.
+    trace_id: u64,
+    reply: mpsc::Sender<ScoreReply>,
 }
 
 #[derive(Default)]
@@ -217,6 +267,14 @@ fn run_batcher(queue: &BatchQueue, index: &TrustIndex, max_batch: usize, batch_w
         drop(state);
 
         histogram_record("serve.score.batch_size", batch_pairs as u64);
+        let picked_up_us = trace_now_us();
+        // Score under the requester's trace id when the batch is one job
+        // deep; a coalesced batch belongs to no single request, so the
+        // ambient id stays unset and the span attributes to the batcher
+        // thread lane only.
+        let _scope = (batch.len() == 1)
+            .then(|| ahntp_telemetry::set_trace_id_scope(batch[0].trace_id));
+        let _batch_span = KernelSpan::enter("serve.batch", KernelKind::Other);
         // Chaos hook: an Err action degrades this batch from the fused
         // kernel to per-pair scalar scoring (jobs still get answers); a
         // Delay action just slows the batch down — the per-request
@@ -225,12 +283,17 @@ fn run_batcher(queue: &BatchQueue, index: &TrustIndex, max_batch: usize, batch_w
             counter_add("serve.degraded", 1);
             warn!("serve", "batch kernel faulted; degrading to per-pair scoring");
             for job in batch {
-                let scores: Result<Vec<f32>, ScoreError> = job
+                let result: Result<Vec<f32>, ScoreError> = job
                     .pairs
                     .iter()
                     .map(|&(trustor, trustee)| index.score(trustor, trustee))
                     .collect();
-                let _ = job.reply.send(scores);
+                let _ = job.reply.send(ScoreReply {
+                    result,
+                    picked_up_us,
+                    scored_us: trace_now_us(),
+                    degraded: true,
+                });
             }
             continue;
         }
@@ -240,19 +303,31 @@ fn run_batcher(queue: &BatchQueue, index: &TrustIndex, max_batch: usize, batch_w
             .collect();
         match index.score_pairs(&all) {
             Ok(scores) => {
+                let scored_us = trace_now_us();
                 let mut offset = 0;
                 for job in batch {
                     let n = job.pairs.len();
                     let slice = scores[offset..offset + n].to_vec();
                     offset += n;
-                    let _ = job.reply.send(Ok(slice));
+                    let _ = job.reply.send(ScoreReply {
+                        result: Ok(slice),
+                        picked_up_us,
+                        scored_us,
+                        degraded: false,
+                    });
                 }
             }
             Err(_) => {
                 // Some job smuggled in a bad id; rescore per job so only
                 // the offender sees the error.
                 for job in batch {
-                    let _ = job.reply.send(index.score_pairs(&job.pairs));
+                    let result = index.score_pairs(&job.pairs);
+                    let _ = job.reply.send(ScoreReply {
+                        result,
+                        picked_up_us,
+                        scored_us: trace_now_us(),
+                        degraded: false,
+                    });
                 }
             }
         }
@@ -301,6 +376,9 @@ impl ServerHandle {
         if let Some(t) = self.batcher.take() {
             let _ = t.join();
         }
+        // Every thread has quiesced: if AHNTP_TRACE_OUT is set, persist
+        // the Chrome trace collected over the server's lifetime.
+        ahntp_telemetry::flush_trace_to_env();
         info!("serve", "server on {} stopped", self.addr);
     }
 }
@@ -326,6 +404,7 @@ pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle
     let index = Arc::new(index);
     let shutdown = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(BatchQueue::new(config.queue_capacity.max(1)));
+    let traces = Arc::new(TraceRing::new(config.trace_ring));
 
     let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
     let conn_rx = Arc::new(Mutex::new(conn_rx));
@@ -359,6 +438,7 @@ pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle
             let conn_rx = Arc::clone(&conn_rx);
             let index = Arc::clone(&index);
             let queue = Arc::clone(&queue);
+            let traces = Arc::clone(&traces);
             let shutdown = Arc::clone(&shutdown);
             let read_timeout = config.read_timeout;
             let (deadline, retry_after) = (config.deadline, config.retry_after);
@@ -371,6 +451,7 @@ pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle
                 let ctx = RequestCtx {
                     index: &index,
                     queue: &queue,
+                    traces: &traces,
                     deadline,
                     retry_after,
                 };
@@ -423,29 +504,75 @@ fn handle_connection(
         match read_request(&mut reader) {
             Ok(Some(req)) => {
                 let started = Instant::now();
+                let req_ts_us = trace_now_us();
                 counter_add("serve.http.requests", 1);
-                let resp = route(&req, ctx);
+                let trace_id = ahntp_telemetry::next_trace_id();
+                let mut stages: Vec<Stage> = Vec::new();
+                let resp = {
+                    // Ambient id for any span opened while handling this
+                    // request on this thread (top-k scans, metrics, ...).
+                    let _scope = ahntp_telemetry::set_trace_id_scope(trace_id);
+                    route(&req, ctx, trace_id, &mut stages)
+                };
                 if resp.status >= 400 {
                     counter_add("serve.http.errors", 1);
                 }
-                let retry_header: Vec<(&str, String)> = resp
-                    .retry_after
-                    .map(|secs| ("Retry-After", secs.to_string()))
-                    .into_iter()
-                    .collect();
+                let mut headers: Vec<(&str, String)> =
+                    vec![("X-Ahntp-Trace-Id", format!("{trace_id:016x}"))];
+                if let Some(secs) = resp.retry_after {
+                    headers.push(("Retry-After", secs.to_string()));
+                }
                 // Finish the in-flight response even during shutdown, but
                 // don't invite another request.
                 let keep_alive = !req.wants_close() && !shutdown.load(Ordering::SeqCst);
+                let (status, reason) = (resp.status, resp.reason);
+                let (content_type, body) = match resp.text {
+                    Some((ct, text)) => (ct, text.into_bytes()),
+                    None => ("application/json", resp.body.to_line().into_bytes()),
+                };
                 write_response_with(
                     &mut writer,
-                    resp.status,
-                    resp.reason,
-                    "application/json",
-                    &retry_header,
-                    resp.body.to_line().as_bytes(),
+                    status,
+                    reason,
+                    content_type,
+                    &headers,
+                    &body,
                     keep_alive,
                 )?;
-                histogram_record("serve.request.us", started.elapsed().as_micros() as u64);
+                let us = started.elapsed().as_micros() as u64;
+                histogram_record("serve.request.us", us);
+                // Access log: off by default (Info floor); enable with
+                // AHNTP_LOG=serve.access=debug.
+                debug!(
+                    "serve.access",
+                    "{} {} {status} {us}us trace={trace_id:016x}",
+                    req.method,
+                    req.path
+                );
+                if ahntp_telemetry::trace_collecting() {
+                    // Request lane: one serve.request span with the
+                    // stages nested under the same (pid, tid).
+                    ahntp_telemetry::trace_complete_request(
+                        "serve.request",
+                        req_ts_us,
+                        us,
+                        trace_id,
+                    );
+                    for s in &stages {
+                        ahntp_telemetry::trace_complete_request(
+                            s.name, s.ts_us, s.dur_us, trace_id,
+                        );
+                    }
+                }
+                ctx.traces.push(RequestTrace {
+                    trace_id,
+                    method: req.method.clone(),
+                    path: req.path.clone(),
+                    status,
+                    ts_us: req_ts_us,
+                    dur_us: us,
+                    stages,
+                });
                 if !keep_alive {
                     return Ok(());
                 }
@@ -485,9 +612,14 @@ fn handle_connection(
 /// `GET /healthz` is answered inline without touching the batch queue:
 /// liveness probes keep working while scoring is shedding, degraded, or
 /// stalled.
-fn route(req: &Request, ctx: &RequestCtx<'_>) -> Response {
+fn route(
+    req: &Request,
+    ctx: &RequestCtx<'_>,
+    trace_id: u64,
+    stages: &mut Vec<Stage>,
+) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/score") => score_endpoint(req, ctx),
+        ("POST", "/score") => score_endpoint(req, ctx, trace_id, stages),
         ("GET", "/topk") => topk_endpoint(req, ctx.index),
         ("GET", "/healthz") => Response::new(
             200,
@@ -500,8 +632,28 @@ fn route(req: &Request, ctx: &RequestCtx<'_>) -> Response {
                 ("fingerprint", format!("{:016x}", ctx.index.fingerprint()).into()),
             ]),
         ),
-        ("GET", "/metrics") => Response::new(200, "OK", metrics_snapshot_json()),
-        (_, "/score") | (_, "/topk") | (_, "/healthz") | (_, "/metrics") => {
+        ("GET", "/metrics") => match req.query.get("format").map(String::as_str) {
+            Some("prometheus") => {
+                Response::text("text/plain; version=0.0.4", metrics_prometheus_text())
+            }
+            Some(other) => Response::error(
+                400,
+                "Bad Request",
+                &format!("unknown metrics format {other:?} (try \"prometheus\")"),
+            ),
+            None => Response::new(200, "OK", metrics_snapshot_json()),
+        },
+        ("GET", "/metrics/prometheus") => {
+            Response::text("text/plain; version=0.0.4", metrics_prometheus_text())
+        }
+        // The last trace_ring requests with their stage timings.
+        ("GET", "/debug/traces") => Response::new(200, "OK", ctx.traces.to_json()),
+        // The live Chrome trace buffer (empty unless collection is on).
+        ("GET", "/debug/trace.json") => {
+            Response::new(200, "OK", ahntp_telemetry::chrome_trace_json())
+        }
+        (_, "/score") | (_, "/topk") | (_, "/healthz") | (_, "/metrics")
+        | (_, "/metrics/prometheus") | (_, "/debug/traces") | (_, "/debug/trace.json") => {
             Response::error(405, "Method Not Allowed", "method not allowed")
         }
         _ => Response::error(404, "Not Found", "no such endpoint"),
@@ -538,8 +690,14 @@ fn shed(ctx: &RequestCtx<'_>, message: &str) -> Response {
     Response::error(503, "Service Unavailable", message).retry_after(ctx.retry_after)
 }
 
-fn score_endpoint(req: &Request, ctx: &RequestCtx<'_>) -> Response {
+fn score_endpoint(
+    req: &Request,
+    ctx: &RequestCtx<'_>,
+    trace_id: u64,
+    stages: &mut Vec<Stage>,
+) -> Response {
     let started = Instant::now();
+    let parse_ts = trace_now_us();
     ahntp_faultz::failpoint!("serve.request", |_inj| Response::error(
         500,
         "Internal Server Error",
@@ -549,16 +707,43 @@ fn score_endpoint(req: &Request, ctx: &RequestCtx<'_>) -> Response {
         Ok(p) => p,
         Err(m) => return Response::error(400, "Bad Request", &m),
     };
+    stages.push(Stage {
+        name: "serve.parse",
+        ts_us: parse_ts,
+        dur_us: trace_now_us().saturating_sub(parse_ts),
+    });
     // Chaos hook: pretend the queue rejected the job.
     ahntp_faultz::failpoint!("serve.enqueue", |_inj| shed(ctx, "scoring queue full"));
     let (reply_tx, reply_rx) = mpsc::channel();
-    if !ctx.queue.push(ScoreJob { pairs, reply: reply_tx }) {
+    let enqueue_ts = trace_now_us();
+    if !ctx.queue.push(ScoreJob { pairs, trace_id, reply: reply_tx }) {
         return shed(ctx, "scoring queue full");
     }
+    let enqueued_us = trace_now_us();
+    stages.push(Stage {
+        name: "serve.enqueue",
+        ts_us: enqueue_ts,
+        dur_us: enqueued_us.saturating_sub(enqueue_ts),
+    });
     // The deadline budget started when the request began parsing; wait
     // only for what is left of it.
     let remaining = ctx.deadline.saturating_sub(started.elapsed());
-    match reply_rx.recv_timeout(remaining) {
+    let reply = reply_rx.recv_timeout(remaining);
+    if let Ok(reply) = &reply {
+        // Attribute the wait: queued until the batcher drained the job,
+        // then scoring until the batch kernel finished.
+        stages.push(Stage {
+            name: "serve.queue.wait",
+            ts_us: enqueued_us,
+            dur_us: reply.picked_up_us.saturating_sub(enqueued_us),
+        });
+        stages.push(Stage {
+            name: if reply.degraded { "serve.score.degraded" } else { "serve.score" },
+            ts_us: reply.picked_up_us,
+            dur_us: reply.scored_us.saturating_sub(reply.picked_up_us),
+        });
+    }
+    match reply.map(|r| r.result) {
         Ok(Ok(scores)) => Response::new(
             200,
             "OK",
@@ -855,7 +1040,7 @@ mod tests {
         let queue = BatchQueue::new(1);
         queue.stop();
         let (tx, _rx) = mpsc::channel();
-        assert!(!queue.push(ScoreJob { pairs: vec![(0, 0)], reply: tx }));
+        assert!(!queue.push(ScoreJob { pairs: vec![(0, 0)], trace_id: 1, reply: tx }));
     }
 
     fn score_request() -> Request {
@@ -876,19 +1061,21 @@ mod tests {
         // never answered (deadline path), which leaves the queue full so
         // the second job is shed.
         let queue = BatchQueue::new(1);
+        let traces = TraceRing::new(4);
         let ctx = RequestCtx {
             index: &index,
             queue: &queue,
+            traces: &traces,
             deadline: Duration::from_millis(20),
             retry_after: Duration::from_secs(2),
         };
         let deadline0 = ahntp_telemetry::counter_get("serve.deadline_exceeded");
         let shed0 = ahntp_telemetry::counter_get("serve.shed");
-        let resp = score_endpoint(&score_request(), &ctx);
+        let resp = score_endpoint(&score_request(), &ctx, 1, &mut Vec::new());
         assert_eq!(resp.status, 504, "{}", resp.body.to_line());
         assert_eq!(resp.retry_after, Some(2));
         assert!(ahntp_telemetry::counter_get("serve.deadline_exceeded") > deadline0);
-        let resp = score_endpoint(&score_request(), &ctx);
+        let resp = score_endpoint(&score_request(), &ctx, 2, &mut Vec::new());
         assert_eq!(resp.status, 503, "{}", resp.body.to_line());
         assert_eq!(resp.retry_after, Some(2));
         assert!(ahntp_telemetry::counter_get("serve.shed") > shed0);
@@ -899,9 +1086,11 @@ mod tests {
         let index = toy_index(3);
         let queue = BatchQueue::new(1);
         queue.stop(); // scoring is completely dead...
+        let traces = TraceRing::new(4);
         let ctx = RequestCtx {
             index: &index,
             queue: &queue,
+            traces: &traces,
             deadline: Duration::from_millis(5),
             retry_after: Duration::from_secs(1),
         };
@@ -912,11 +1101,121 @@ mod tests {
             headers: std::collections::BTreeMap::new(),
             body: Vec::new(),
         };
-        let resp = route(&req, &ctx);
+        let resp = route(&req, &ctx, 1, &mut Vec::new());
         assert_eq!(resp.status, 200, "...but liveness still answers");
         // While /score correctly sheds.
-        let resp = route(&score_request(), &ctx);
+        let resp = route(&score_request(), &ctx, 2, &mut Vec::new());
         assert_eq!(resp.status, 503);
         assert_eq!(resp.retry_after, Some(1));
+    }
+
+    /// One-shot exchange that also returns the response headers.
+    fn exchange_with_headers(
+        addr: SocketAddr,
+        request: &str,
+    ) -> (u16, Vec<(String, String)>, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut reader = BufReader::new(&mut stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.trim_end().is_empty() {
+                break;
+            }
+            let (name, value) = line.split_once(':').expect("header line");
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap();
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, headers, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn every_response_carries_a_trace_id_recorded_in_the_debug_ring() {
+        let server = start(4);
+        let addr = server.addr();
+        let body = r#"{"pairs":[[0,1]]}"#;
+        let (status, headers, _) = exchange_with_headers(
+            addr,
+            &format!(
+                "POST /score HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert_eq!(status, 200);
+        let trace_id = headers
+            .iter()
+            .find(|(n, _)| n == "x-ahntp-trace-id")
+            .map(|(_, v)| v.clone())
+            .expect("X-Ahntp-Trace-Id header on every response");
+        assert_eq!(trace_id.len(), 16, "hex wire format: {trace_id}");
+        assert!(trace_id.chars().all(|c| c.is_ascii_hexdigit()));
+
+        // The ring remembers the request, with its stage breakdown.
+        let (status, body) =
+            exchange(addr, "GET /debug/traces HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 200);
+        let doc = parse(&body).unwrap();
+        let Some(Json::Arr(traces)) = doc.get("traces") else {
+            panic!("no traces in {body}");
+        };
+        let scored = traces
+            .iter()
+            .find(|t| t.get("path").and_then(Json::as_str) == Some("/score"))
+            .expect("the /score request is in the ring");
+        assert_eq!(scored.get("trace_id").and_then(Json::as_str), Some(trace_id.as_str()));
+        let Some(Json::Arr(stages)) = scored.get("stages") else {
+            panic!("no stages in {}", scored.to_line());
+        };
+        let names: Vec<_> = stages
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str).map(str::to_string))
+            .collect();
+        for want in ["serve.parse", "serve.enqueue", "serve.queue.wait", "serve.score"] {
+            assert!(names.iter().any(|n| n == want), "missing {want} in {names:?}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn prometheus_and_debug_trace_endpoints_respond() {
+        let server = start(4);
+        let addr = server.addr();
+        for path in ["/metrics/prometheus", "/metrics?format=prometheus"] {
+            let (status, headers, body) = exchange_with_headers(
+                addr,
+                &format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n"),
+            );
+            assert_eq!(status, 200, "{path}: {body}");
+            let ct = headers
+                .iter()
+                .find(|(n, _)| n == "content-type")
+                .map(|(_, v)| v.as_str())
+                .unwrap();
+            assert!(ct.starts_with("text/plain"), "{path}: {ct}");
+            assert!(body.contains("# TYPE serve_http_requests counter"), "{path}: {body}");
+        }
+        let (status, body) = exchange(
+            addr,
+            "GET /metrics?format=msgpack HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 400, "{body}");
+
+        // /debug/trace.json always parses, even with collection off.
+        let (status, body) =
+            exchange(addr, "GET /debug/trace.json HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 200);
+        let doc = parse(&body).unwrap();
+        assert!(doc.get("traceEvents").is_some(), "{body}");
+        server.shutdown();
     }
 }

@@ -1,0 +1,151 @@
+//! Bounded in-memory ring of recently served requests.
+//!
+//! Every request handled by the server — traced or not — deposits a
+//! [`RequestTrace`] here: its trace id, method, path, status, wall-clock,
+//! and the per-stage breakdown `POST /score` collects on its way through
+//! the queue and the batcher. `GET /debug/traces` renders the ring as
+//! JSON, newest last, so an operator can inspect the last N requests of a
+//! live server without any external tooling. The ring is fixed-size
+//! ([`ServeConfig::trace_ring`](crate::ServeConfig::trace_ring)); old
+//! entries fall off the front.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use ahntp_telemetry::json::Json;
+
+/// One timed stage inside a request (e.g. `serve.parse`,
+/// `serve.queue.wait`, `serve.score`). Timestamps are µs on the
+/// process-wide trace clock ([`ahntp_telemetry::trace_now_us`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Stage {
+    pub name: &'static str,
+    pub ts_us: u64,
+    pub dur_us: u64,
+}
+
+impl Stage {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("name", self.name.into()),
+            ("ts_us", self.ts_us.into()),
+            ("dur_us", self.dur_us.into()),
+        ])
+    }
+}
+
+/// One completed request as recorded in the debug ring.
+#[derive(Debug, Clone)]
+pub(crate) struct RequestTrace {
+    /// Request trace id; rendered as the 16-hex-digit wire form used by
+    /// the `X-Ahntp-Trace-Id` header.
+    pub trace_id: u64,
+    pub method: String,
+    pub path: String,
+    pub status: u16,
+    pub ts_us: u64,
+    pub dur_us: u64,
+    pub stages: Vec<Stage>,
+}
+
+impl RequestTrace {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("trace_id", format!("{:016x}", self.trace_id).into()),
+            ("method", self.method.as_str().into()),
+            ("path", self.path.as_str().into()),
+            ("status", u64::from(self.status).into()),
+            ("ts_us", self.ts_us.into()),
+            ("dur_us", self.dur_us.into()),
+            (
+                "stages",
+                Json::Arr(self.stages.iter().map(|s| s.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+/// Fixed-capacity ring buffer of [`RequestTrace`]s, shared by every
+/// worker thread.
+pub(crate) struct TraceRing {
+    ring: Mutex<VecDeque<RequestTrace>>,
+    capacity: usize,
+}
+
+impl TraceRing {
+    pub fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        TraceRing {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Appends one completed request, evicting the oldest when full.
+    pub fn push(&self, trace: RequestTrace) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// `{"capacity": n, "traces": [...oldest→newest...]}`.
+    pub fn to_json(&self) -> Json {
+        let ring = self.ring.lock().unwrap();
+        Json::obj([
+            ("capacity", self.capacity.into()),
+            (
+                "traces",
+                Json::Arr(ring.iter().map(RequestTrace::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64) -> RequestTrace {
+        RequestTrace {
+            trace_id: id,
+            method: "GET".to_string(),
+            path: "/healthz".to_string(),
+            status: 200,
+            ts_us: id * 10,
+            dur_us: 5,
+            stages: vec![Stage { name: "serve.parse", ts_us: id * 10, dur_us: 1 }],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_renders_hex_ids() {
+        let ring = TraceRing::new(2);
+        for id in 1..=3 {
+            ring.push(trace(id));
+        }
+        let doc = ring.to_json();
+        assert_eq!(doc.get("capacity").and_then(Json::as_f64), Some(2.0));
+        let Some(Json::Arr(traces)) = doc.get("traces") else {
+            panic!("no traces array");
+        };
+        assert_eq!(traces.len(), 2);
+        // Oldest (id 1) fell off; ids render as 16 hex digits.
+        assert_eq!(
+            traces[0].get("trace_id").and_then(Json::as_str),
+            Some("0000000000000002")
+        );
+        assert_eq!(
+            traces[1].get("trace_id").and_then(Json::as_str),
+            Some("0000000000000003")
+        );
+        let Some(Json::Arr(stages)) = traces[0].get("stages") else {
+            panic!("no stages array");
+        };
+        assert_eq!(
+            stages[0].get("name").and_then(Json::as_str),
+            Some("serve.parse")
+        );
+    }
+}

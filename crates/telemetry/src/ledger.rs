@@ -4,7 +4,10 @@
 //!
 //! * `{"kind":"run_start","run":...,"seq":0,...}` — run name + config.
 //! * `{"kind":"epoch","seq":n,"epoch":e,"loss":...,"wall_us":...,
-//!   "grad_norm":...}` — one per completed epoch.
+//!   "grad_norm":...}` — one per completed epoch. When per-kernel
+//!   profiling is on (`AHNTP_PROFILE=1`), an extra
+//!   `"profile":{"matmul":us,...}` object attributes the epoch's
+//!   wall-clock per kernel family.
 //! * `{"kind":"event","seq":n,...}` — free-form milestones.
 //! * `{"kind":"run_end","seq":n,"final":{...},"metrics":{...}}` — final
 //!   report plus a metrics-registry snapshot.
@@ -83,15 +86,31 @@ impl RunLedger {
 
     /// Records one completed epoch.
     pub fn epoch(&mut self, epoch: usize, loss: f64, wall_us: u64, grad_norm: f64) {
-        self.write_record(
-            "epoch",
-            [
-                ("epoch", Json::from(epoch)),
-                ("loss", Json::from(loss)),
-                ("wall_us", Json::from(wall_us)),
-                ("grad_norm", Json::from(grad_norm)),
-            ],
-        );
+        self.epoch_profiled(epoch, loss, wall_us, grad_norm, None);
+    }
+
+    /// Records one completed epoch with an optional per-kernel profile
+    /// object (`{"matmul": us, "csr": us, ...}` — see
+    /// [`crate::KernelProfile::to_json`]). The per-kernel µs are *self*
+    /// times, so they sum to ≤ `wall_us`.
+    pub fn epoch_profiled(
+        &mut self,
+        epoch: usize,
+        loss: f64,
+        wall_us: u64,
+        grad_norm: f64,
+        profile: Option<Json>,
+    ) {
+        let mut fields = vec![
+            ("epoch", Json::from(epoch)),
+            ("loss", Json::from(loss)),
+            ("wall_us", Json::from(wall_us)),
+            ("grad_norm", Json::from(grad_norm)),
+        ];
+        if let Some(profile) = profile {
+            fields.push(("profile", profile));
+        }
+        self.write_record("epoch", fields);
     }
 
     /// Records a free-form event (e.g. `early_stop`, `divergence`).

@@ -20,6 +20,17 @@
 //!   [`metrics_snapshot`]): a global, thread-safe registry of named
 //!   counters, gauges and histograms (op counts, FLOP estimates, sparse
 //!   nnz throughput, allocation bytes, gradient norms, epoch wall time).
+//! * **Tracing & profiling** ([`KernelSpan`], [`trace_instant`],
+//!   [`chrome_trace_json`], [`profile_snapshot`]): hierarchical spans with
+//!   thread-local parent/child stacks and self-vs-child time, per-request
+//!   trace-id propagation (including across the `ahntp-par` pool via
+//!   [`trace_context`]), Chrome trace-event export
+//!   (`AHNTP_TRACE_OUT=trace.json`, Perfetto-loadable), and a per-kernel
+//!   profiler (`AHNTP_PROFILE=1`) whose self-time accounting telescopes so
+//!   per-kernel µs always sum to ≤ the enclosing wall-clock.
+//! * **Prometheus exposition** ([`metrics_prometheus_text`]): the metrics
+//!   registry in Prometheus text format, served by `ahntp-serve` at
+//!   `GET /metrics?format=prometheus`.
 //! * **Run ledger** ([`RunLedger`]): serializes training runs to JSONL
 //!   (`target/telemetry/<run>.jsonl` by default) — config, per-epoch
 //!   loss/time/gradient-norm, final metrics — so benchmark trajectories
@@ -48,7 +59,9 @@ pub mod json;
 mod ledger;
 mod log;
 mod metrics;
+mod prometheus;
 mod span;
+mod trace;
 
 pub use divergence::{
     clear_nonfinite, finite_checks_enabled, first_nonfinite, record_nonfinite,
@@ -58,10 +71,19 @@ pub use env::{env_flag, env_parse};
 pub use ledger::{default_ledger_dir, RunLedger};
 pub use log::{log_enabled, log_message, set_log_filter, Level};
 pub use metrics::{
-    counter_add, counter_get, gauge_get, gauge_set, histogram_record, metrics_reset,
-    metrics_snapshot, metrics_snapshot_json, HistogramSummary, MetricValue, Snapshot,
+    counter_add, counter_get, gauge_get, gauge_set, histogram_bucket_width, histogram_record,
+    metrics_reset, metrics_snapshot, metrics_snapshot_json, HistogramSummary, MetricValue,
+    Snapshot,
 };
+pub use prometheus::metrics_prometheus_text;
 pub use span::SpanGuard;
+pub use trace::{
+    chrome_trace_json, current_trace_id, flush_trace_to_env, next_trace_id, profile_reset,
+    profile_snapshot, profiling_enabled, set_profiling, set_trace_collect, set_trace_id_scope,
+    trace_active, trace_collecting, trace_complete_request, trace_context, trace_events_dropped,
+    trace_events_len, trace_instant, trace_now_us, trace_reset, with_trace_context, write_chrome_trace,
+    KernelKind, KernelProfile, KernelSpan, TraceContext, TraceIdScope, KERNEL_KINDS,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

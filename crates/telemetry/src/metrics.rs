@@ -2,8 +2,10 @@
 //!
 //! Counters are monotonic `u64` sums (op counts, FLOPs, nnz processed,
 //! bytes allocated). Gauges hold the latest `f64` (gradient norm, learning
-//! rate). Histograms keep count/sum/min/max plus a small reservoir-free
-//! log2 bucket sketch, enough for p50/p99-style readouts of span times.
+//! rate). Histograms keep count/sum/min/max plus a reservoir-free
+//! log-spaced bucket sketch (8 sub-buckets per power-of-two octave, exact
+//! below 16), so p50/p99 readouts land within 12.5% of the true sample —
+//! one bucket width, see [`histogram_bucket_width`].
 //!
 //! All update paths take the registry mutex only on the *first* touch of a
 //! name; after that, counters and gauges update lock-free through
@@ -17,10 +19,53 @@ use std::sync::{Arc, Mutex, OnceLock};
 use crate::enabled;
 use crate::json::Json;
 
-/// Number of log2 latency buckets: bucket `i` counts values `v` with
-/// `floor(log2(v)) == i`, saturating at the top. 64 covers the full u64
-/// microsecond range.
-const BUCKETS: usize = 64;
+/// Sub-bucket resolution of the log-spaced sketch: each power-of-two
+/// octave splits into `2^SUB_BITS` equal-width buckets, bounding the
+/// relative quantile error at `2^-SUB_BITS` (12.5%) of the true value.
+const SUB_BITS: usize = 3;
+/// Buckets per octave.
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Values below `2^(SUB_BITS+1)` get one exact bucket each (the sub-bucket
+/// scheme cannot split octaves narrower than `SUB_COUNT` values).
+const PRECISE: usize = 2 * SUB_COUNT;
+/// Total buckets: the exact region plus 8 sub-buckets for each of the
+/// octaves `2^4 .. 2^63`. Covers the full u64 range.
+const BUCKETS: usize = PRECISE + (64 - (SUB_BITS + 1)) * SUB_COUNT;
+
+/// Index of the log-spaced bucket containing `value`.
+fn bucket_index(value: u64) -> usize {
+    if value < PRECISE as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros() as usize; // SUB_BITS+1 ..= 63
+    let sub = ((value >> (exp - SUB_BITS)) as usize) & (SUB_COUNT - 1);
+    PRECISE + (exp - (SUB_BITS + 1)) * SUB_COUNT + sub
+}
+
+/// Largest value that lands in bucket `index` (quantiles report this
+/// upper bound, so they never under-estimate).
+fn bucket_upper(index: usize) -> u64 {
+    if index < PRECISE {
+        return index as u64;
+    }
+    let exp = SUB_BITS + 1 + (index - PRECISE) / SUB_COUNT;
+    let sub = ((index - PRECISE) % SUB_COUNT) as u64;
+    let lower = (SUB_COUNT as u64 + sub) << (exp - SUB_BITS);
+    lower + ((1u64 << (exp - SUB_BITS)) - 1)
+}
+
+/// Width of the histogram bucket `value` falls into — the quantile
+/// error bound at that magnitude (1 below `2^(SUB_BITS+1)`, then
+/// ≤ 12.5% of the value). Tests compare sketch quantiles against exact
+/// ones within this tolerance.
+pub fn histogram_bucket_width(value: u64) -> u64 {
+    let i = bucket_index(value);
+    if i < PRECISE {
+        1
+    } else {
+        bucket_upper(i) - bucket_upper(i - 1)
+    }
+}
 
 struct Histogram {
     count: AtomicU64,
@@ -48,8 +93,7 @@ impl Histogram {
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
-        let bucket = (64 - value.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
     }
 
     fn summary(&self) -> HistogramSummary {
@@ -69,8 +113,9 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile from the log2 sketch: returns the upper bound
-    /// of the bucket containing the q-th ordered sample.
+    /// Approximate quantile from the log-spaced sketch: returns the upper
+    /// bound of the bucket containing the q-th ordered sample, clamped to
+    /// the observed max so sparse top buckets cannot over-report.
     fn quantile(&self, q: f64) -> u64 {
         let total = self.count.load(Ordering::Relaxed);
         if total == 0 {
@@ -81,7 +126,7 @@ impl Histogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
-                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return bucket_upper(i).min(self.max.load(Ordering::Relaxed));
             }
         }
         self.max.load(Ordering::Relaxed)
@@ -195,9 +240,11 @@ pub struct HistogramSummary {
     pub min: u64,
     /// Largest sample.
     pub max: u64,
-    /// Approximate median (log2-bucket upper bound).
+    /// Approximate median (log-spaced-bucket upper bound, within one
+    /// [`histogram_bucket_width`] of the exact sample).
     pub p50: u64,
-    /// Approximate 99th percentile (log2-bucket upper bound).
+    /// Approximate 99th percentile (log-spaced-bucket upper bound, within
+    /// one [`histogram_bucket_width`] of the exact sample).
     pub p99: u64,
 }
 
@@ -340,6 +387,61 @@ mod tests {
                 assert!(h.p99 >= 100, "p99 = {}", h.p99);
             }
             other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bucket_index_and_upper_are_consistent() {
+        // Every value lands in a bucket whose upper bound is ≥ the value
+        // and whose width bounds the error at 12.5%.
+        for v in (0u64..4096).chain([1_000_000, 123_456_789, u64::MAX / 2, u64::MAX]) {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            let upper = bucket_upper(i);
+            assert!(upper >= v, "upper {upper} < value {v}");
+            assert!(
+                upper - v < histogram_bucket_width(v).max(1),
+                "value {v} further than one width {} from upper {upper}",
+                histogram_bucket_width(v)
+            );
+            if i + 1 < BUCKETS {
+                assert!(bucket_upper(i + 1) > upper, "uppers must increase at {i}");
+            }
+        }
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX, "top bucket saturates");
+    }
+
+    #[test]
+    fn quantiles_track_exact_percentiles_within_one_bucket() {
+        set_enabled(true);
+        // A latency-shaped sample: bulk around 300–800µs, a 1% tail at
+        // ~20ms. A flat log2 sketch reports p99 = 1023 for this shape
+        // (28% over the exact 799); the log-spaced sketch must land
+        // within one sub-bucket width (≤ 12.5%) of the exact percentile.
+        let name = "test.histo.fidelity";
+        let mut samples: Vec<u64> = Vec::new();
+        for i in 0..990u64 {
+            samples.push(300 + (i * 500) / 990);
+        }
+        for i in 0..10u64 {
+            samples.push(20_000 + i * 37);
+        }
+        for &s in &samples {
+            histogram_record(name, s);
+        }
+        samples.sort_unstable();
+        let exact = |q: f64| samples[((samples.len() as f64 * q).ceil() as usize).max(1) - 1];
+        let snap = metrics_snapshot();
+        let Some(MetricValue::Histogram(h)) = snap.get(name) else {
+            panic!("missing histogram");
+        };
+        for (got, want) in [(h.p50, exact(0.50)), (h.p99, exact(0.99))] {
+            assert!(got >= want, "sketch quantile {got} under exact {want}");
+            assert!(
+                got - want <= histogram_bucket_width(want),
+                "sketch {got} vs exact {want}: off by more than one bucket width {}",
+                histogram_bucket_width(want)
+            );
         }
     }
 

@@ -11,15 +11,24 @@
 use std::time::Instant;
 
 use crate::metrics::{counter_add, histogram_record};
+use crate::trace::{frame_enter, frame_exit, KernelKind};
 use crate::{enabled, log_enabled, log_message, Level};
 
 /// A live span. Created by [`span!`](crate::span) or [`SpanGuard::enter`];
 /// records its wall time on drop. When telemetry is disabled the guard is
 /// inert (a `None` start) and drop does nothing.
+///
+/// When tracing is active (see [`crate::trace_active`]) the span also
+/// participates in the hierarchical frame stack: it becomes the parent of
+/// any [`crate::KernelSpan`] opened inside it, and is exported as a Chrome
+/// trace event when `AHNTP_TRACE_OUT` is set. The two switches are
+/// independent — metrics histograms and trace frames each cost one branch
+/// when their side is off.
 #[must_use = "a span measures the scope it lives in; bind it to a variable"]
 pub struct SpanGuard {
     name: &'static str,
     start: Option<Instant>,
+    traced: bool,
 }
 
 impl SpanGuard {
@@ -27,7 +36,8 @@ impl SpanGuard {
     /// `AHNTP_LOG=spmm=trace` shows only `spmm` span exits.
     pub fn enter(name: &'static str) -> SpanGuard {
         let start = enabled().then(Instant::now);
-        SpanGuard { name, start }
+        let traced = frame_enter(name, KernelKind::Other);
+        SpanGuard { name, start, traced }
     }
 
     /// Wall time since the span started (zero when telemetry is off).
@@ -40,6 +50,9 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.traced {
+            frame_exit();
+        }
         let Some(start) = self.start else { return };
         let us = start.elapsed().as_micros() as u64;
         histogram_record(&format!("span.{}.us", self.name), us);

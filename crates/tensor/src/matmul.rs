@@ -7,7 +7,7 @@
 //! zero-skip tests) as the serial loop, so parallel results are bitwise
 //! identical to serial ones at any thread count.
 
-use ahntp_telemetry::counter_add;
+use ahntp_telemetry::{counter_add, KernelKind, KernelSpan};
 
 use crate::{Shape, Tensor};
 
@@ -133,6 +133,7 @@ impl Tensor {
         );
         let k = k1;
         record_matmul("tensor.matmul.calls", m, n, k);
+        let _k = KernelSpan::enter("tensor.matmul", KernelKind::Matmul);
         let mut out = vec![0.0f32; m * n];
         let a = &self.data;
         // When `other` is a vector we can index it directly as a column.
@@ -167,6 +168,7 @@ impl Tensor {
             other.shape()
         );
         record_matmul("tensor.t_matmul.calls", m, n, k1);
+        let _k = KernelSpan::enter("tensor.t_matmul", KernelKind::Matmul);
         let mut out = vec![0.0f32; m * n];
         if ahntp_par::par_enabled(2 * m * n * k1) && m >= 2 {
             // Gather form: each task owns a band of output rows and walks
@@ -213,6 +215,7 @@ impl Tensor {
             other.shape()
         );
         record_matmul("tensor.matmul_t.calls", m, n, k1);
+        let _k = KernelSpan::enter("tensor.matmul_t", KernelKind::Matmul);
         let mut out = vec![0.0f32; m * n];
         let (a, b) = (&self.data, &other.data);
         if ahntp_par::par_enabled(2 * m * n * k1) && m >= 2 {

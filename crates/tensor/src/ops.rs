@@ -10,6 +10,7 @@
 
 use crate::matmul::record_par;
 use crate::{Shape, Tensor};
+use ahntp_telemetry::{KernelKind, KernelSpan};
 
 #[inline]
 fn assert_same_shape(op: &str, a: &Tensor, b: &Tensor) {
@@ -32,6 +33,7 @@ impl Tensor {
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let _k = KernelSpan::enter("tensor.map", KernelKind::Elementwise);
         let n = self.data.len();
         if ahntp_par::par_enabled(n) {
             record_par("tensor.map.par_calls");
@@ -51,6 +53,7 @@ impl Tensor {
     /// Element-wise combination of two same-shape tensors.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_same_shape("zip", self, other);
+        let _k = KernelSpan::enter("tensor.zip", KernelKind::Elementwise);
         let mut out = self.clone();
         let n = out.data.len();
         if ahntp_par::par_enabled(n) {
@@ -108,6 +111,7 @@ impl Tensor {
     /// `self += other * alpha` (axpy), in place. The optimizer hot path.
     pub fn axpy_inplace(&mut self, alpha: f32, other: &Tensor) {
         assert_same_shape("axpy_inplace", self, other);
+        let _k = KernelSpan::enter("tensor.axpy", KernelKind::Elementwise);
         let n = self.data.len();
         if ahntp_par::par_enabled(n) {
             record_par("tensor.axpy.par_calls");
@@ -135,6 +139,7 @@ impl Tensor {
             self.cols(),
             row.shape()
         );
+        let _k = KernelSpan::enter("tensor.add_row_broadcast", KernelKind::Elementwise);
         let mut out = self.clone();
         let cols = self.cols();
         if ahntp_par::par_enabled(out.data.len()) && self.rows() >= 2 {
@@ -168,6 +173,7 @@ impl Tensor {
             self.rows(),
             col.shape()
         );
+        let _k = KernelSpan::enter("tensor.scale_rows", KernelKind::Elementwise);
         let mut out = self.clone();
         let cols = self.cols();
         if ahntp_par::par_enabled(out.data.len()) && self.rows() >= 2 {

@@ -10,6 +10,7 @@
 
 use crate::matmul::record_par;
 use crate::{Shape, Tensor};
+use ahntp_telemetry::{KernelKind, KernelSpan};
 
 impl Tensor {
     /// Sum of all elements.
@@ -38,6 +39,7 @@ impl Tensor {
 
     /// Per-row sums as a vector of length `rows`.
     pub fn row_sums(&self) -> Tensor {
+        let _k = KernelSpan::enter("tensor.row_sums", KernelKind::Reduction);
         let cols = self.cols();
         let mut out = vec![0.0f32; self.rows()];
         if ahntp_par::par_enabled(self.data.len()) && self.rows() >= 2 {
@@ -63,6 +65,7 @@ impl Tensor {
 
     /// Per-column sums as a vector of length `cols`.
     pub fn col_sums(&self) -> Tensor {
+        let _k = KernelSpan::enter("tensor.col_sums", KernelKind::Reduction);
         let cols = self.cols();
         let mut out = vec![0.0f32; cols];
         for r in 0..self.rows() {
@@ -78,6 +81,7 @@ impl Tensor {
 
     /// Per-row Euclidean norms as a vector of length `rows`.
     pub fn row_norms(&self) -> Tensor {
+        let _k = KernelSpan::enter("tensor.row_norms", KernelKind::Reduction);
         let cols = self.cols();
         let norm_of_row = |r: usize| -> f32 {
             self.data[r * cols..(r + 1) * cols]
@@ -113,6 +117,7 @@ impl Tensor {
 
     /// Numerically-stable row-wise softmax (max-shifted).
     pub fn softmax_rows(&self) -> Tensor {
+        let _k = KernelSpan::enter("tensor.softmax_rows", KernelKind::Reduction);
         let cols = self.cols();
         let softmax_row = |row: &mut [f32]| {
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -153,6 +158,7 @@ impl Tensor {
 
     /// Rows rescaled to unit L2 norm; zero rows are left untouched.
     pub fn normalize_rows(&self) -> Tensor {
+        let _k = KernelSpan::enter("tensor.normalize_rows", KernelKind::Reduction);
         let cols = self.cols();
         let normalize_row = |row: &mut [f32]| {
             let n: f32 = row.iter().map(|&v| v * v).sum::<f32>().sqrt();

@@ -19,7 +19,7 @@
 //! Values are generic over [`Scalar`] because the learnable math runs in
 //! `f32` while motif counting and PageRank run in `f64` (see DESIGN.md §5).
 
-use ahntp_telemetry::counter_add;
+use ahntp_telemetry::{counter_add, KernelKind, KernelSpan};
 
 use crate::matmul::record_par;
 use crate::{Tensor, TensorError};
@@ -609,6 +609,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// row-banded across the worker pool and the per-band CSR fragments
     /// stitched back together; results are bitwise identical to serial.
     pub fn spmm(&self, other: &CsrMatrix<T>) -> CsrMatrix<T> {
+        let _k = KernelSpan::enter("csr.spmm", KernelKind::Csr);
         assert_eq!(
             self.cols, other.rows,
             "CsrMatrix::spmm: inner dimensions disagree: {}x{} @ {}x{}",
@@ -672,6 +673,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// Note: only `mask`'s *pattern* participates; its values are ignored,
     /// matching the Table II convention where the mask is a 0/1 adjacency.
     pub fn spmm_masked(&self, other: &CsrMatrix<T>, mask: &CsrMatrix<T>) -> CsrMatrix<T> {
+        let _k = KernelSpan::enter("csr.spmm_masked", KernelKind::Csr);
         assert_eq!(
             self.cols, other.rows,
             "CsrMatrix::spmm_masked: inner dimensions disagree: {}x{} @ {}x{}",
@@ -760,6 +762,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// forward pass of every hypergraph/graph aggregation; output rows are
     /// banded across the worker pool when large enough.
     pub fn mul_dense(&self, x: &Tensor) -> Tensor {
+        let _k = KernelSpan::enter("csr.mul_dense", KernelKind::Csr);
         assert_eq!(
             self.cols,
             x.rows(),
@@ -792,6 +795,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// former-row order, which is exactly the order the serial scatter
     /// visits them in, so both paths are bitwise identical.
     pub fn t_mul_dense(&self, x: &Tensor) -> Tensor {
+        let _k = KernelSpan::enter("csr.t_mul_dense", KernelKind::Csr);
         assert_eq!(
             self.rows,
             x.rows(),
@@ -832,6 +836,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// f64 PageRank power iteration). Each output element is one row dot
     /// product, so banding the output across the pool changes nothing.
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        let _k = KernelSpan::enter("csr.mul_vec", KernelKind::Csr);
         assert_eq!(
             self.cols,
             x.len(),
@@ -867,6 +872,7 @@ impl<T: Scalar> CsrMatrix<T> {
 
     /// `selfᵀ @ x` as a vector product (PageRank uses `T_pᵀ s`).
     pub fn t_mul_vec(&self, x: &[T]) -> Vec<T> {
+        let _k = KernelSpan::enter("csr.t_mul_vec", KernelKind::Csr);
         assert_eq!(
             self.rows,
             x.len(),
