@@ -1,0 +1,358 @@
+//! Live trust streaming benchmark.
+//!
+//! Two measurements back the "Live trust" experiment table:
+//!
+//! 1. **Delta refresh vs full rebuild** — a trained model absorbs the
+//!    same mixed mutation stream under three index-maintenance
+//!    policies: a from-scratch `rebuild_artifact` after every event
+//!    (what serving without the streaming subsystem would do), the
+//!    delta path with [`StalenessBound::immediate`], and the delta path
+//!    with [`StalenessBound::batched`]. The per-event speedup over the
+//!    rebuild baseline is the number the subsystem exists to deliver.
+//!    Two effects drive it: weight-only events (reweight/decay) touch
+//!    no head rows, so the delta path skips them outright where a
+//!    rebuild recomputes everything; and a batched bound amortises one
+//!    cone refresh over many events. The cone itself saturates on AHNTP
+//!    graphs — attribute hyperedges put most users within two hops of
+//!    any mutation — so per-event immediate refresh alone is a modest
+//!    win; the table shows all three so the trade-off is explicit.
+//! 2. **Mixed read/write serving** — a `serve_live` server absorbs
+//!    `POST /events` interleaved with `POST /score` / `GET /topk` at
+//!    several write ratios and staleness bounds, reporting per-class
+//!    exact p50/p99 plus the server's own `stream.*` staleness view.
+//!
+//! Emits one markdown row and one machine-readable `BENCH {json}` line
+//! per configuration. Scale with the usual knobs (`AHNTP_USERS_CIAO`,
+//! `AHNTP_EPOCHS`, `AHNTP_THREADS`, …).
+
+use std::time::Instant;
+
+use ahntp::Ahntp;
+use ahntp_bench::loadgen::{run_mixed_load, MixedLoadConfig};
+use ahntp_bench::{ahntp_config, print_row, Dataset, Scale};
+use ahntp_eval::TrustModel;
+use ahntp_serve::{serve_live, ServeConfig};
+use ahntp_stream::{EventApplier, HyperGroup, LiveTrustModel, StalenessBound, TrustEvent};
+use ahntp_telemetry::json::Json;
+use ahntp_telemetry::{metrics_snapshot, MetricValue};
+
+const N_EVENTS: usize = 120;
+
+/// Deterministic LCG so the event stream is identical across runs.
+fn lcg(state: &mut u64) -> usize {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 33) as usize
+}
+
+/// Mixed mutation stream mirroring `tests/stream_exactness.rs`: mostly
+/// adds, with removes, reweights, and decays on both hypergraph levels,
+/// generated against running edge counts so every id is valid.
+fn event_stream(n_users: usize, n_node: usize, n_struct: usize) -> Vec<TrustEvent> {
+    let mut counts = [n_node, n_struct];
+    let mut rng: u64 = 0x5eed_2024;
+    let mut events = Vec::with_capacity(N_EVENTS);
+    for i in 0..N_EVENTS {
+        let g = i % 2;
+        let group = if g == 0 { HyperGroup::Node } else { HyperGroup::Structure };
+        let event = match i % 8 {
+            3 if counts[g] > 4 => TrustEvent::RemoveEdge {
+                group,
+                edge: lcg(&mut rng) % counts[g],
+            },
+            5 if counts[g] > 0 => TrustEvent::ReweightEdge {
+                group,
+                edge: lcg(&mut rng) % counts[g],
+                weight: 0.3 + (lcg(&mut rng) % 90) as f32 / 60.0,
+            },
+            7 => TrustEvent::Decay {
+                factor: 0.9 + (lcg(&mut rng) % 9) as f32 / 100.0,
+            },
+            _ => {
+                let a = lcg(&mut rng) % n_users;
+                let mut b = lcg(&mut rng) % n_users;
+                if b == a {
+                    b = (b + 1) % n_users;
+                }
+                TrustEvent::AddEdge {
+                    group,
+                    members: vec![a, b],
+                    weight: 0.4 + (lcg(&mut rng) % 100) as f32 / 50.0,
+                }
+            }
+        };
+        match &event {
+            TrustEvent::AddEdge { .. } => counts[g] += 1,
+            TrustEvent::RemoveEdge { .. } => counts[g] -= 1,
+            _ => {}
+        }
+        events.push(event);
+    }
+    events
+}
+
+fn train(scale: &Scale, ds: &ahntp_data::TrustDataset, split: &ahntp_data::Split) -> Ahntp {
+    let mut model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &ahntp_config(scale));
+    for _ in 0..scale.epochs {
+        model.train_epoch(&split.train);
+    }
+    model
+}
+
+/// One index-maintenance policy over the same event stream: per-event
+/// amortised wall time, total refreshed rows, and the final artifact
+/// (all three policies must converge to the same index).
+fn run_policy(
+    policy: &str,
+    scale: &Scale,
+    ds: &ahntp_data::TrustDataset,
+    split: &ahntp_data::Split,
+    events: &[TrustEvent],
+    bound: Option<StalenessBound>,
+) -> (f64, usize, ahntp_nn::TrustArtifact) {
+    // Timing of the maintenance path does not depend on how converged
+    // the weights are; cap the warm-up training so the bench stays
+    // quick. Every policy trains the identical model (same seed).
+    let epochs = scale.epochs.min(3);
+    eprintln!("[{policy}] training {epochs} epochs on {} users…", ds.graph.n());
+    let mut model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &ahntp_config(scale));
+    for _ in 0..epochs {
+        model.train_epoch(&split.train);
+    }
+    let mut artifact = Ahntp::export_artifact(&model);
+    let mut refreshed = 0usize;
+    let mut total_us = 0.0f64;
+
+    let fold = |artifact: &mut ahntp_nn::TrustArtifact, patch: &ahntp_stream::HeadPatch| {
+        for (k, &u) in patch.users.iter().enumerate() {
+            let (ed, hd) = (patch.emb_dim, patch.head_dim);
+            artifact.embeddings[u * ed..(u + 1) * ed]
+                .copy_from_slice(&patch.emb_rows[k * ed..(k + 1) * ed]);
+            artifact.trustor_head[u * hd..(u + 1) * hd]
+                .copy_from_slice(&patch.trustor_rows[k * hd..(k + 1) * hd]);
+            artifact.trustee_head[u * hd..(u + 1) * hd]
+                .copy_from_slice(&patch.trustee_rows[k * hd..(k + 1) * hd]);
+        }
+    };
+
+    match bound {
+        // Baseline: no streaming subsystem — fold the event in, then
+        // rebuild the whole serving artifact from scratch.
+        None => {
+            for event in events {
+                let t0 = Instant::now();
+                model.apply_event(event).expect("valid generated event");
+                artifact = model.rebuild_artifact();
+                total_us += t0.elapsed().as_secs_f64() * 1e6;
+                refreshed += artifact.n_users;
+            }
+        }
+        Some(bound) => {
+            let mut applier = EventApplier::new(model, bound);
+            for event in events {
+                let t0 = Instant::now();
+                applier.apply(event).expect("valid generated event");
+                if let Some(patch) = applier.maybe_refresh().expect("no faults armed") {
+                    refreshed += patch.users.len();
+                    fold(&mut artifact, &patch);
+                }
+                total_us += t0.elapsed().as_secs_f64() * 1e6;
+            }
+            // Flush whatever the bound left dirty so every policy ends
+            // on the same index.
+            let t0 = Instant::now();
+            let patch = applier.force_refresh().expect("no faults armed");
+            total_us += t0.elapsed().as_secs_f64() * 1e6;
+            if let Some(patch) = patch {
+                refreshed += patch.users.len();
+                fold(&mut artifact, &patch);
+            }
+        }
+    }
+    (total_us / events.len() as f64, refreshed, artifact)
+}
+
+/// Part 1: per-event cost of keeping the serving index fresh, by
+/// maintenance policy.
+fn bench_delta_vs_rebuild(scale: &Scale) {
+    let ds = Dataset::Ciao.generate(scale);
+    let split = ds.split(0.8, 0.2, 2, scale.seed);
+    let n_users = ds.graph.n();
+    // Probe the stream shape once (hyperedge counts are a property of
+    // the dataset + config, identical across the per-policy models).
+    let probe = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &ahntp_config(scale));
+    let (n_node, n_struct) = probe.hyperedge_counts();
+    drop(probe);
+    let events = event_stream(n_users, n_node, n_struct);
+
+    println!("\n## Per-event index maintenance: delta refresh vs full rebuild\n");
+    print_row(&[
+        "policy".into(),
+        "users".into(),
+        "events".into(),
+        "rows refreshed".into(),
+        "amortised us/event".into(),
+        "speedup vs rebuild".into(),
+    ]);
+    print_row(&vec!["---".into(); 6]);
+
+    let policies: [(&str, Option<StalenessBound>); 3] = [
+        ("rebuild every event", None),
+        ("delta, immediate", Some(StalenessBound::immediate())),
+        ("delta, batched(32)", Some(StalenessBound::batched(32))),
+    ];
+    let mut baseline_us = 0.0f64;
+    let mut baseline_artifact: Option<ahntp_nn::TrustArtifact> = None;
+    for (policy, bound) in policies {
+        let (us_per_event, refreshed, artifact) =
+            run_policy(policy, scale, &ds, &split, &events, bound);
+        let speedup = if let Some(base) = &baseline_artifact {
+            // Every policy must land on the index the rebuild baseline
+            // landed on (the exactness contract, re-checked here).
+            for (a, b) in [
+                (&artifact.embeddings, &base.embeddings),
+                (&artifact.trustor_head, &base.trustor_head),
+                (&artifact.trustee_head, &base.trustee_head),
+            ] {
+                assert!(
+                    a.iter().zip(b.iter()).all(|(x, y)| (x - y).abs() <= 1e-6),
+                    "{policy} diverged from the rebuild baseline"
+                );
+            }
+            baseline_us / us_per_event
+        } else {
+            baseline_us = us_per_event;
+            baseline_artifact = Some(artifact);
+            1.0
+        };
+        print_row(&[
+            policy.into(),
+            n_users.to_string(),
+            events.len().to_string(),
+            refreshed.to_string(),
+            format!("{us_per_event:.0}"),
+            format!("{speedup:.1}x"),
+        ]);
+        let line = Json::obj([
+            ("bench", "stream_delta_refresh".into()),
+            ("policy", policy.into()),
+            ("n_users", n_users.into()),
+            ("events", events.len().into()),
+            ("rows_refreshed", refreshed.into()),
+            ("amortised_us_per_event", us_per_event.into()),
+            ("speedup_vs_rebuild", speedup.into()),
+            ("threads", ahntp_par::threads().into()),
+        ]);
+        println!("BENCH {}", line.to_line());
+    }
+}
+
+/// Counter value from the current metrics snapshot, 0 when absent.
+fn counter(name: &str) -> u64 {
+    match metrics_snapshot().get(name) {
+        Some(MetricValue::Counter(c)) => *c,
+        _ => 0,
+    }
+}
+
+/// Gauge value from the current metrics snapshot, 0 when absent.
+fn gauge(name: &str) -> f64 {
+    match metrics_snapshot().get(name) {
+        Some(MetricValue::Gauge(g)) => *g,
+        _ => 0.0,
+    }
+}
+
+/// Part 2: mixed read/write load against a live server.
+fn bench_mixed_load(scale: &Scale) {
+    println!("\n## Mixed read/write serving (4 connections, 200 requests each)\n");
+    print_row(&[
+        "bound".into(),
+        "write ratio".into(),
+        "score p50/p99 (us)".into(),
+        "topk p50/p99 (us)".into(),
+        "events p50/p99 (us)".into(),
+        "req/s".into(),
+        "events applied".into(),
+        "dirty after".into(),
+    ]);
+    print_row(&vec!["---".into(); 8]);
+
+    for (bound_name, bound, write_ratio) in [
+        ("immediate", StalenessBound::immediate(), 0.1),
+        ("immediate", StalenessBound::immediate(), 0.3),
+        ("batched(32)", StalenessBound::batched(32), 0.3),
+    ] {
+        let scale = *scale;
+        let server = serve_live(
+            move || {
+                let ds = Dataset::Ciao.generate(&scale);
+                let split = ds.split(0.8, 0.2, 2, scale.seed);
+                Box::new(train(&scale, &ds, &split)) as Box<dyn LiveTrustModel>
+            },
+            bound,
+            &ServeConfig::default(),
+        )
+        .expect("bind loopback");
+        let addr = server.addr();
+
+        let events_before = counter("stream.events");
+        let config = MixedLoadConfig {
+            connections: 4,
+            requests_per_connection: 200,
+            pairs_per_request: 8,
+            events_per_request: 4,
+            n_users: scale.users_ciao,
+            write_ratio,
+        };
+        let report = run_mixed_load(addr, &config);
+        let events_applied = counter("stream.events") - events_before;
+        let dirty = gauge("stream.dirty_users");
+        let staleness = gauge("stream.staleness_seconds");
+        server.shutdown();
+
+        let total_failed = report.score.failed + report.topk.failed + report.events.failed;
+        assert_eq!(total_failed, 0, "mixed run saw failures:\n{}", report.summary());
+        print_row(&[
+            bound_name.into(),
+            format!("{write_ratio:.1}"),
+            format!("{}/{}", report.score.p50_us, report.score.p99_us),
+            format!("{}/{}", report.topk.p50_us, report.topk.p99_us),
+            format!("{}/{}", report.events.p50_us, report.events.p99_us),
+            format!("{:.0}", report.throughput_rps),
+            events_applied.to_string(),
+            format!("{dirty:.0}"),
+        ]);
+        let line = Json::obj([
+            ("bench", "stream_mixed_load".into()),
+            ("bound", bound_name.into()),
+            ("write_ratio", write_ratio.into()),
+            ("score_p50_us", report.score.p50_us.into()),
+            ("score_p99_us", report.score.p99_us.into()),
+            ("topk_p50_us", report.topk.p50_us.into()),
+            ("topk_p99_us", report.topk.p99_us.into()),
+            ("events_p50_us", report.events.p50_us.into()),
+            ("events_p99_us", report.events.p99_us.into()),
+            ("throughput_rps", report.throughput_rps.into()),
+            ("events_applied", events_applied.into()),
+            ("dirty_users_after", dirty.into()),
+            ("staleness_seconds_after", staleness.into()),
+            ("threads", ahntp_par::threads().into()),
+        ]);
+        println!("BENCH {}", line.to_line());
+    }
+}
+
+fn main() {
+    ahntp_telemetry::set_enabled(true);
+    let scale = Scale::from_env();
+    println!("# Live trust: delta maintenance and mixed-load serving");
+    bench_delta_vs_rebuild(&scale);
+    bench_mixed_load(&scale);
+    println!(
+        "\nScale: {} users, threads {} (set AHNTP_USERS_CIAO / AHNTP_THREADS to rescale).",
+        scale.users_ciao,
+        ahntp_par::threads()
+    );
+}

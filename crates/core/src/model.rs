@@ -18,6 +18,7 @@ use ahntp_nn::{
     Adam, AdaptiveHypergraphConv, HypergraphConv, Mlp, Module, Optimizer, Param, Session,
     TrainState, TrustArtifact,
 };
+use ahntp_stream::{AppliedEvent, HeadPatch, HyperGroup, LiveTrustModel, StreamError, TrustEvent};
 use ahntp_tensor::{CsrMatrix, SplitMix64, Tensor};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -95,25 +96,8 @@ impl ConvStack {
         }
     }
 
-    fn forward(&self, s: &Session, x: &Var) -> Var {
-        let mut h = x.clone();
-        match self {
-            ConvStack::Adaptive(layers) => {
-                for l in layers {
-                    h = l.forward(s, &h);
-                }
-            }
-            ConvStack::Plain(layers) => {
-                for l in layers {
-                    h = l.forward(s, &h);
-                }
-            }
-        }
-        h
-    }
-
     /// Forward pass against an explicit operator set — the full extraction
-    /// (identical to [`ConvStack::forward`]) or a sampled hyperedge slice.
+    /// or a sampled hyperedge slice.
     fn forward_on(&self, s: &Session, ops: &AggregationOps, x: &Var) -> Var {
         let mut h = x.clone();
         match self {
@@ -135,6 +119,19 @@ impl ConvStack {
         match self {
             ConvStack::Adaptive(layers) => layers.iter().flat_map(Module::params).collect(),
             ConvStack::Plain(layers) => layers.iter().flat_map(Module::params).collect(),
+        }
+    }
+
+    /// The per-layer hyperedge-weight columns (`m × 1` each). Live
+    /// structural mutation resizes these in step with the hypergraph.
+    fn edge_weight_params(&self) -> Vec<Param> {
+        match self {
+            ConvStack::Adaptive(layers) => {
+                layers.iter().map(|l| l.edge_weights().clone()).collect()
+            }
+            ConvStack::Plain(layers) => {
+                layers.iter().map(|l| l.edge_weights().clone()).collect()
+            }
         }
     }
 }
@@ -171,6 +168,10 @@ pub struct Ahntp {
     /// Lazily computed scoring head; invalidated whenever parameters
     /// change through [`Ahntp::train_epoch`] or [`Ahntp::load`].
     head_cache: RefCell<Option<Rc<HeadCache>>>,
+    /// Set once a live event adds or removes a hyperedge. Training is
+    /// refused afterwards: the Adam moment buffers and the smoothness
+    /// cache are bound to the construction-time edge set.
+    structure_mutated: bool,
 }
 
 impl Ahntp {
@@ -328,6 +329,7 @@ impl Ahntp {
             influence,
             fingerprint,
             head_cache: RefCell::new(None),
+            structure_mutated: false,
         }
     }
 
@@ -343,16 +345,16 @@ impl Ahntp {
     }
 
     /// Forward pass to the comprehensive user embedding (node-level and
-    /// structure-level paths concatenated).
+    /// structure-level paths concatenated). Runs against the caches'
+    /// *current* operators, so live mutations are picked up immediately
+    /// (with an unmutated cache this hands back the very operators the
+    /// layers were constructed over — bitwise the historical path).
     fn embed(&self, s: &Session) -> Var {
-        let x = s.constant(self.features.clone());
-        let node = self
-            .node_stack
-            .forward(s, &self.node_mlp.forward(s, &x));
-        let stru = self
-            .struct_stack
-            .forward(s, &self.struct_mlp.forward(s, &x));
-        s.graph().concat_cols(&[&node, &stru])
+        self.embed_on(
+            s,
+            &self.node_cache.full_ops(),
+            &self.struct_cache.full_ops(),
+        )
     }
 
     /// [`Ahntp::embed`] against explicit operator sets (sampled hyperedge
@@ -544,6 +546,237 @@ impl Ahntp {
         }
         loss
     }
+
+    /// Exact post-stack rows for `users` computed over a closed cone of
+    /// the hypergraph instead of the full extraction.
+    ///
+    /// With `L` convolution layers, the rows that must stay exact after
+    /// layer `k` are `closure(users, L-k)`; the cone therefore carries the
+    /// vertices of `closure(users, L)` and every hyperedge incident to
+    /// `closure(users, L-1)`. Inside that cone each target vertex sees its
+    /// complete incident-edge set (attention softmax groups are whole) and
+    /// every contributing hyperedge sees all its members, so the selected
+    /// rows are bitwise what the full forward produces.
+    fn cone_rows(
+        &self,
+        s: &Session,
+        cache: &AggregationCache,
+        stack: &ConvStack,
+        mlp: &Mlp,
+        users: &[usize],
+    ) -> Var {
+        let hops = self.cfg.conv_dims.len();
+        let v_need = cache.closure(users, hops.saturating_sub(1));
+        let edge_ids = cache.incident_edges(&v_need);
+        let v_comp = cache.closure(users, hops);
+        let ops = cache.cone_ops(&edge_ids, &v_comp);
+        let idx = Rc::new(v_comp.clone());
+        let x = s.constant(self.features.clone()).gather_rows(&idx);
+        let h = stack.forward_on(s, &ops, &mlp.forward(s, &x));
+        let local: Vec<usize> = users
+            .iter()
+            .map(|u| {
+                v_comp
+                    .binary_search(u)
+                    .expect("refresh targets are in their own closure")
+            })
+            .collect();
+        h.gather_rows(&Rc::new(local))
+    }
+
+    /// Recomputed head rows (embedding + both towers, *unnormalised*) for
+    /// `users`, via per-tier cones.
+    fn refreshed_head_rows(&self, users: &[usize]) -> (Tensor, Tensor, Tensor) {
+        let s = Session::new();
+        let node = self.cone_rows(&s, &self.node_cache, &self.node_stack, &self.node_mlp, users);
+        let stru = self.cone_rows(
+            &s,
+            &self.struct_cache,
+            &self.struct_stack,
+            &self.struct_mlp,
+            users,
+        );
+        let emb = s.graph().concat_cols(&[&node, &stru]);
+        let trustor = self.tower_a.forward(&s, &emb).value();
+        let trustee = self.tower_b.forward(&s, &emb).value();
+        (emb.value(), trustor, trustee)
+    }
+}
+
+impl LiveTrustModel for Ahntp {
+    fn n_users(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Folds one live event into the delta-maintained caches.
+    ///
+    /// Structural events (add/remove) resize the per-layer hyperedge
+    /// weight columns in step with the hypergraph — a new edge starts at
+    /// the initialisation weight `1.0`, a removed edge's slot is taken by
+    /// the renamed last edge, mirroring the swap-remove id rename — and
+    /// mark the model as structurally mutated (training is refused
+    /// afterwards). Weight-only events (reweight/decay) touch degrees and
+    /// Laplacians but no operator, so they leave every head row exact and
+    /// report no affected users; they are mirrored into the smoothness
+    /// cache so weight-only streams remain trainable.
+    ///
+    /// Until [`LiveTrustModel::refresh_heads`] runs, the *cached* head
+    /// rows of affected users (used by [`Ahntp::predict_pair`] and
+    /// [`Ahntp::export_artifact`]) are stale; the batched
+    /// [`TrustModel::predict`] recomputes the forward and is always live.
+    fn apply_event(&mut self, event: &TrustEvent) -> Result<AppliedEvent, StreamError> {
+        let hops = self.cfg.conv_dims.len();
+        let affected_users = match event {
+            TrustEvent::AddEdge {
+                group,
+                members,
+                weight,
+            } => {
+                let (cache, stack) = match group {
+                    HyperGroup::Node => (&mut self.node_cache, &self.node_stack),
+                    HyperGroup::Structure => (&mut self.struct_cache, &self.struct_stack),
+                };
+                cache.apply_add(members, *weight)?;
+                for p in stack.edge_weight_params() {
+                    let t = p.value();
+                    let rows = t.rows();
+                    let mut data = t.into_vec();
+                    data.push(1.0);
+                    p.set_value(Tensor::matrix(rows + 1, 1, data));
+                }
+                self.structure_mutated = true;
+                let cache = match group {
+                    HyperGroup::Node => &self.node_cache,
+                    HyperGroup::Structure => &self.struct_cache,
+                };
+                cache.closure(members, hops)
+            }
+            TrustEvent::RemoveEdge { group, edge } => {
+                let (cache, stack) = match group {
+                    HyperGroup::Node => (&mut self.node_cache, &self.node_stack),
+                    HyperGroup::Structure => (&mut self.struct_cache, &self.struct_stack),
+                };
+                let removed = cache.apply_remove(*edge)?;
+                for p in stack.edge_weight_params() {
+                    let t = p.value();
+                    let rows = t.rows();
+                    let mut data = t.into_vec();
+                    let last = rows - 1;
+                    data[*edge] = data[last];
+                    data.truncate(last);
+                    p.set_value(Tensor::matrix(last, 1, data));
+                }
+                self.structure_mutated = true;
+                // The renamed edge changes its members' incident-edge
+                // summation order, so they count as affected alongside the
+                // removed edge's members.
+                let mut seed = removed.members.clone();
+                if let Some(moved) = &removed.moved {
+                    seed.extend_from_slice(&moved.members);
+                }
+                let cache = match group {
+                    HyperGroup::Node => &self.node_cache,
+                    HyperGroup::Structure => &self.struct_cache,
+                };
+                cache.closure(&seed, hops)
+            }
+            TrustEvent::ReweightEdge {
+                group,
+                edge,
+                weight,
+            } => {
+                let (cache, offset) = match group {
+                    HyperGroup::Node => (&mut self.node_cache, 0),
+                    HyperGroup::Structure => {
+                        let offset = self.node_cache.n_edges();
+                        (&mut self.struct_cache, offset)
+                    }
+                };
+                cache.apply_reweight(*edge, *weight)?;
+                if !self.structure_mutated {
+                    // The smoothness hypergraph is the concatenation of
+                    // the two tiers; id alignment holds until a structural
+                    // mutation renames edges (after which training — the
+                    // only consumer — is refused anyway).
+                    self.smooth_cache.apply_reweight(edge + offset, *weight)?;
+                }
+                Vec::new()
+            }
+            TrustEvent::Decay { factor } => {
+                self.node_cache.apply_decay(*factor)?;
+                self.struct_cache.apply_decay(*factor)?;
+                self.smooth_cache.apply_decay(*factor)?;
+                Vec::new()
+            }
+        };
+        Ok(AppliedEvent { affected_users })
+    }
+
+    /// Recomputes the head rows of `users` over closed cones (see
+    /// [`Ahntp::cone_rows`]) and patches the model's own cached head in
+    /// place, so `predict_pair`/`export_artifact` and the returned patch
+    /// agree. Rows in the patch are L2-normalised exactly as artifact
+    /// export normalises them.
+    fn refresh_heads(&self, users: &[usize]) -> HeadPatch {
+        let emb_dim = 2 * *self.cfg.conv_dims.last().expect("validated non-empty");
+        let head_dim = *self.cfg.tower_dims.last().expect("validated non-empty");
+        if users.is_empty() {
+            return HeadPatch::empty(emb_dim, head_dim);
+        }
+        let (emb_rows, trustor_rows, trustee_rows) = self.refreshed_head_rows(users);
+        let warm = self.head_cache.borrow().clone();
+        if let Some(head) = warm {
+            let mut emb = head.emb.clone();
+            let mut trustor = head.trustor.clone();
+            let mut trustee = head.trustee.clone();
+            for (k, &u) in users.iter().enumerate() {
+                emb.row_mut(u).copy_from_slice(emb_rows.row(k));
+                trustor.row_mut(u).copy_from_slice(trustor_rows.row(k));
+                trustee.row_mut(u).copy_from_slice(trustee_rows.row(k));
+            }
+            *self.head_cache.borrow_mut() = Some(Rc::new(HeadCache {
+                emb,
+                trustor,
+                trustee,
+            }));
+        }
+        HeadPatch {
+            users: users.to_vec(),
+            emb_dim,
+            head_dim,
+            emb_rows: emb_rows.into_vec(),
+            trustor_rows: trustor_rows.normalize_rows().into_vec(),
+            trustee_rows: trustee_rows.normalize_rows().into_vec(),
+        }
+    }
+
+    fn export_artifact(&self) -> TrustArtifact {
+        Ahntp::export_artifact(self)
+    }
+
+    /// From-scratch oracle: fresh operator extractions over the *current*
+    /// (mutated) hypergraphs, bypassing every cache — what a cold rebuild
+    /// of the serving artifact would produce.
+    fn rebuild_artifact(&self) -> TrustArtifact {
+        let s = Session::new();
+        let node_ops = AggregationOps::full(self.node_cache.hypergraph());
+        let struct_ops = AggregationOps::full(self.struct_cache.hypergraph());
+        let emb = self.embed_on(&s, &node_ops, &struct_ops);
+        let trustor = self.tower_a.forward(&s, &emb).value();
+        let trustee = self.tower_b.forward(&s, &emb).value();
+        let emb = emb.value();
+        TrustArtifact {
+            model: self.name(),
+            fingerprint: self.fingerprint,
+            calibration: COSINE_CALIBRATION,
+            n_users: emb.rows(),
+            emb_dim: emb.cols(),
+            head_dim: trustor.cols(),
+            embeddings: emb.clone().into_vec(),
+            trustor_head: trustor.normalize_rows().into_vec(),
+            trustee_head: trustee.normalize_rows().into_vec(),
+        }
+    }
 }
 
 impl TrustModel for Ahntp {
@@ -635,6 +868,13 @@ impl BatchTrustModel for Ahntp {
     /// training at any thread count.
     fn train_epoch_planned(&mut self, plan: &BatchPlan) -> f32 {
         assert!(plan.n_pairs() > 0, "train_epoch_planned: no pairs");
+        assert!(
+            !self.structure_mutated,
+            "train_epoch: the hypergraph structure was mutated by live \
+             events; the Adam moment buffers and the smoothness cache are \
+             bound to the construction-time edge set — rebuild the model \
+             to continue training"
+        );
         // Per-epoch hyperedge sample, one per hypergraph so node-level and
         // structure-level draws are independent. Ratio 1.0 never touches
         // the RNG and yields the identity selection.
@@ -1085,5 +1325,183 @@ mod checkpoint_tests {
             }
             other => panic!("expected WrongArchitecture, got {other:?}"),
         }
+    }
+}
+
+#[cfg(test)]
+mod live_tests {
+    use super::*;
+    use ahntp_data::{DatasetConfig, TrustDataset};
+
+    fn trained_model() -> Ahntp {
+        let ds = TrustDataset::generate(&DatasetConfig::ciao_like(80, 5));
+        let split = ds.split(0.8, 0.2, 2, 42);
+        let cfg = AhntpConfig {
+            conv_dims: vec![16, 8],
+            tower_dims: vec![8],
+            ..AhntpConfig::default()
+        };
+        let mut model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+        for _ in 0..2 {
+            model.train_epoch(&split.train);
+        }
+        model
+    }
+
+    /// Folds `patch` into the flat head matrices of `artifact`.
+    fn apply_patch(artifact: &mut TrustArtifact, patch: &HeadPatch) {
+        patch.check().expect("well-formed patch");
+        for (k, &u) in patch.users.iter().enumerate() {
+            let (ed, hd) = (patch.emb_dim, patch.head_dim);
+            artifact.embeddings[u * ed..(u + 1) * ed]
+                .copy_from_slice(&patch.emb_rows[k * ed..(k + 1) * ed]);
+            artifact.trustor_head[u * hd..(u + 1) * hd]
+                .copy_from_slice(&patch.trustor_rows[k * hd..(k + 1) * hd]);
+            artifact.trustee_head[u * hd..(u + 1) * hd]
+                .copy_from_slice(&patch.trustee_rows[k * hd..(k + 1) * hd]);
+        }
+    }
+
+    fn assert_artifacts_close(live: &TrustArtifact, oracle: &TrustArtifact, what: &str) {
+        for (name, a, b) in [
+            ("embeddings", &live.embeddings, &oracle.embeddings),
+            ("trustor_head", &live.trustor_head, &oracle.trustor_head),
+            ("trustee_head", &live.trustee_head, &oracle.trustee_head),
+        ] {
+            assert_eq!(a.len(), b.len(), "{what}: {name} length");
+            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-6,
+                    "{what}: {name}[{i}] live {x} vs rebuilt {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn live_mutations_patch_to_the_rebuilt_artifact() {
+        let mut model = trained_model();
+        let mut artifact = Ahntp::export_artifact(&model);
+        let events = [
+            TrustEvent::AddEdge {
+                group: HyperGroup::Node,
+                members: vec![3, 9, 21],
+                weight: 1.4,
+            },
+            TrustEvent::RemoveEdge {
+                group: HyperGroup::Structure,
+                edge: 0,
+            },
+            TrustEvent::ReweightEdge {
+                group: HyperGroup::Node,
+                edge: 2,
+                weight: 0.6,
+            },
+            TrustEvent::AddEdge {
+                group: HyperGroup::Structure,
+                members: vec![0, 44],
+                weight: 0.8,
+            },
+            TrustEvent::Decay { factor: 0.93 },
+            TrustEvent::RemoveEdge {
+                group: HyperGroup::Node,
+                edge: 5,
+            },
+        ];
+        for (i, event) in events.iter().enumerate() {
+            let applied = model.apply_event(event).expect("valid event");
+            let patch = model.refresh_heads(&applied.affected_users);
+            apply_patch(&mut artifact, &patch);
+            let oracle = model.rebuild_artifact();
+            assert_artifacts_close(&artifact, &oracle, &format!("event {i} ({})", event.op()));
+            // The in-place patched head cache agrees with the oracle too.
+            assert_artifacts_close(
+                &Ahntp::export_artifact(&model),
+                &oracle,
+                &format!("export after event {i}"),
+            );
+        }
+    }
+
+    #[test]
+    fn weight_only_events_affect_no_heads_and_keep_training_alive() {
+        let mut model = trained_model();
+        let before = Ahntp::export_artifact(&model);
+        for event in [
+            TrustEvent::ReweightEdge {
+                group: HyperGroup::Structure,
+                edge: 1,
+                weight: 2.5,
+            },
+            TrustEvent::Decay { factor: 0.9 },
+        ] {
+            let applied = model.apply_event(&event).expect("valid event");
+            assert!(applied.affected_users.is_empty(), "{}", event.op());
+        }
+        // Heads are untouched bitwise.
+        let after = Ahntp::export_artifact(&model);
+        assert_eq!(before.trustor_head, after.trustor_head);
+        assert_eq!(before.trustee_head, after.trustee_head);
+        // Weight-only streams keep the model trainable (the smoothness
+        // cache was mirrored).
+        let ds = TrustDataset::generate(&DatasetConfig::ciao_like(80, 5));
+        let split = ds.split(0.8, 0.2, 2, 42);
+        let loss = model.train_epoch(&split.train);
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn invalid_events_leave_the_model_untouched() {
+        let mut model = trained_model();
+        let before = Ahntp::export_artifact(&model);
+        let (m_node, m_struct) = model.hyperedge_counts();
+        for event in [
+            TrustEvent::RemoveEdge {
+                group: HyperGroup::Node,
+                edge: m_node + 7,
+            },
+            TrustEvent::ReweightEdge {
+                group: HyperGroup::Structure,
+                edge: m_struct,
+                weight: 1.0,
+            },
+            TrustEvent::AddEdge {
+                group: HyperGroup::Node,
+                members: vec![0, 1],
+                weight: f32::NAN,
+            },
+            TrustEvent::Decay { factor: -1.0 },
+        ] {
+            let err = model.apply_event(&event).unwrap_err();
+            assert!(matches!(err, StreamError::Hypergraph(_)), "{err}");
+        }
+        assert_eq!(model.hyperedge_counts(), (m_node, m_struct));
+        let after = model.rebuild_artifact();
+        assert_eq!(before.trustor_head, after.trustor_head);
+        // Failed events never forbid training.
+        let ds = TrustDataset::generate(&DatasetConfig::ciao_like(80, 5));
+        let split = ds.split(0.8, 0.2, 2, 42);
+        assert!(model.train_epoch(&split.train).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "structure was mutated")]
+    fn training_after_structural_mutation_is_refused() {
+        let ds = TrustDataset::generate(&DatasetConfig::ciao_like(80, 5));
+        let split = ds.split(0.8, 0.2, 2, 42);
+        let cfg = AhntpConfig {
+            conv_dims: vec![16, 8],
+            tower_dims: vec![8],
+            ..AhntpConfig::default()
+        };
+        let mut model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+        model
+            .apply_event(&TrustEvent::AddEdge {
+                group: HyperGroup::Node,
+                members: vec![1, 2],
+                weight: 1.0,
+            })
+            .expect("valid event");
+        model.train_epoch(&split.train);
     }
 }

@@ -16,6 +16,13 @@ pub enum HypergraphError {
     EmptyHyperedge,
     /// A non-positive hyperedge weight was supplied.
     NonPositiveWeight(f32),
+    /// A hyperedge id outside `0..n_edges` was supplied to a mutation.
+    EdgeOutOfRange {
+        /// The offending hyperedge id.
+        edge: usize,
+        /// Number of hyperedges in the hypergraph.
+        n_edges: usize,
+    },
 }
 
 impl std::fmt::Display for HypergraphError {
@@ -27,6 +34,9 @@ impl std::fmt::Display for HypergraphError {
             HypergraphError::EmptyHyperedge => write!(f, "hyperedges must be non-empty"),
             HypergraphError::NonPositiveWeight(w) => {
                 write!(f, "hyperedge weight must be positive, got {w}")
+            }
+            HypergraphError::EdgeOutOfRange { edge, n_edges } => {
+                write!(f, "hyperedge {edge} out of range for {n_edges} hyperedges")
             }
         }
     }
@@ -102,6 +112,85 @@ impl Hypergraph {
         self.edges.push(sorted);
         self.weights.push(weight);
         Ok(self.edges.len() - 1)
+    }
+
+    fn check_edge(&self, e: usize) -> Result<(), HypergraphError> {
+        if e >= self.edges.len() {
+            Err(HypergraphError::EdgeOutOfRange {
+                edge: e,
+                n_edges: self.edges.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Removes hyperedge `e` in O(1) id bookkeeping: the last hyperedge is
+    /// moved into slot `e` (`Vec::swap_remove`), so exactly one other edge
+    /// is renamed. The returned [`RemovedEdge`] records the removed edge's
+    /// members and weight plus, when a rename happened, the old id and
+    /// members of the moved edge — delta-maintenance needs both to know
+    /// which incidence rows to patch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HypergraphError::EdgeOutOfRange`] for an unknown id.
+    pub fn remove_edge(&mut self, e: usize) -> Result<RemovedEdge, HypergraphError> {
+        self.check_edge(e)?;
+        let last = self.edges.len() - 1;
+        let members = self.edges.swap_remove(e);
+        let weight = self.weights.swap_remove(e);
+        let moved = (e != last).then(|| MovedEdge {
+            old_id: last,
+            members: self.edges[e].clone(),
+        });
+        ahntp_telemetry::counter_add("hypergraph.edges_removed", 1);
+        ahntp_telemetry::counter_add("hypergraph.incidences_removed", members.len() as u64);
+        Ok(RemovedEdge {
+            members,
+            weight,
+            moved,
+        })
+    }
+
+    /// Replaces the weight of hyperedge `e`, returning the previous weight.
+    /// Validation mirrors [`Hypergraph::add_weighted_edge`]: the new weight
+    /// must be strictly positive (NaN fails the comparison too).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HypergraphError::EdgeOutOfRange`] for an unknown id and
+    /// [`HypergraphError::NonPositiveWeight`] for a non-positive or NaN
+    /// weight.
+    pub fn reweight_edge(&mut self, e: usize, weight: f32) -> Result<f32, HypergraphError> {
+        self.check_edge(e)?;
+        if weight.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(HypergraphError::NonPositiveWeight(weight));
+        }
+        let old = std::mem::replace(&mut self.weights[e], weight);
+        ahntp_telemetry::counter_add("hypergraph.edges_reweighted", 1);
+        Ok(old)
+    }
+
+    /// Scales every hyperedge weight by `factor` — the batched-reweight
+    /// primitive behind time decay (`w_e ← w_e · e^{-λ·Δt}`). Results are
+    /// clamped up to `f32::MIN_POSITIVE` so repeated decay can never
+    /// underflow a weight to zero and break the positive-weight invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HypergraphError::NonPositiveWeight`] when `factor` is not
+    /// a strictly positive finite number.
+    pub fn scale_weights(&mut self, factor: f32) -> Result<(), HypergraphError> {
+        if factor.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !factor.is_finite()
+        {
+            return Err(HypergraphError::NonPositiveWeight(factor));
+        }
+        for w in &mut self.weights {
+            *w = (*w * factor).max(f32::MIN_POSITIVE);
+        }
+        ahntp_telemetry::counter_add("hypergraph.weights_decayed", 1);
+        Ok(())
     }
 
     /// Concatenates several hypergroups over the same vertex set — the `||`
@@ -349,6 +438,27 @@ impl Hypergraph {
     }
 }
 
+/// What [`Hypergraph::remove_edge`] removed, plus the rename it caused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemovedEdge {
+    /// Members of the removed hyperedge (sorted, unique).
+    pub members: Vec<usize>,
+    /// Weight of the removed hyperedge.
+    pub weight: f32,
+    /// When the removed edge was not the last one, the edge that took its
+    /// id (always the previously-last edge).
+    pub moved: Option<MovedEdge>,
+}
+
+/// A hyperedge renamed by a swap-remove.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovedEdge {
+    /// The edge's id before the removal (the old `n_edges - 1`).
+    pub old_id: usize,
+    /// The edge's members (sorted, unique).
+    pub members: Vec<usize>,
+}
+
 /// Size/shape summary of a hypergraph.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HypergraphStats {
@@ -489,6 +599,83 @@ mod tests {
         let l = h.laplacian();
         assert_eq!(l.get(2, 2), 1.0);
         assert_eq!(l.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn remove_edge_swaps_in_the_last_edge() {
+        let mut h = small();
+        h.add_weighted_edge(&[1, 3], 2.5).expect("valid");
+        // Remove the middle edge: edge 2 ([1,3], w 2.5) takes id 1.
+        let removed = h.remove_edge(1).expect("in range");
+        assert_eq!(removed.members, vec![2, 3]);
+        assert_eq!(removed.weight, 1.0);
+        let moved = removed.moved.expect("a rename happened");
+        assert_eq!(moved.old_id, 2);
+        assert_eq!(moved.members, vec![1, 3]);
+        assert_eq!(h.n_edges(), 2);
+        assert_eq!(h.edge(1), &[1, 3]);
+        assert_eq!(h.weights(), &[1.0, 2.5]);
+        // Removing the last edge renames nothing.
+        let removed = h.remove_edge(1).expect("in range");
+        assert!(removed.moved.is_none());
+        assert_eq!(h.n_edges(), 1);
+    }
+
+    #[test]
+    fn remove_edge_validates_the_id() {
+        let mut h = small();
+        assert_eq!(
+            h.remove_edge(2),
+            Err(HypergraphError::EdgeOutOfRange { edge: 2, n_edges: 2 })
+        );
+        let msg = HypergraphError::EdgeOutOfRange { edge: 2, n_edges: 2 }.to_string();
+        assert!(msg.contains('2'), "{msg}");
+        // A failed removal changes nothing.
+        assert_eq!(h.n_edges(), 2);
+    }
+
+    #[test]
+    fn reweight_edge_validates_like_add_weighted_edge() {
+        let mut h = small();
+        assert_eq!(
+            h.reweight_edge(7, 1.0),
+            Err(HypergraphError::EdgeOutOfRange { edge: 7, n_edges: 2 })
+        );
+        assert_eq!(
+            h.reweight_edge(0, 0.0),
+            Err(HypergraphError::NonPositiveWeight(0.0))
+        );
+        assert_eq!(
+            h.reweight_edge(0, -1.5),
+            Err(HypergraphError::NonPositiveWeight(-1.5))
+        );
+        assert!(matches!(
+            h.reweight_edge(0, f32::NAN).unwrap_err(),
+            HypergraphError::NonPositiveWeight(w) if w.is_nan()
+        ));
+        assert_eq!(h.weights(), &[1.0, 1.0], "failed reweights change nothing");
+        assert_eq!(h.reweight_edge(0, 3.0), Ok(1.0));
+        assert_eq!(h.weights(), &[3.0, 1.0]);
+        assert_eq!(h.vertex_degrees(), vec![3.0, 3.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn scale_weights_decays_everything_and_validates() {
+        let mut h = small();
+        h.reweight_edge(1, 2.0).expect("valid");
+        h.scale_weights(0.5).expect("valid");
+        assert_eq!(h.weights(), &[0.5, 1.0]);
+        for bad in [0.0, -0.5, f32::NAN, f32::INFINITY] {
+            assert!(matches!(
+                h.scale_weights(bad),
+                Err(HypergraphError::NonPositiveWeight(_))
+            ));
+        }
+        // Underflow clamps at the smallest positive normal, never zero.
+        for _ in 0..50 {
+            h.scale_weights(1e-6).expect("valid");
+        }
+        assert!(h.weights().iter().all(|&w| w > 0.0));
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub use groups::{
     attribute_hypergroup, multi_hop_hypergroup, multi_hop_hypergroup_capped,
     pairwise_hypergroup, social_influence_hypergroup,
 };
-pub use hypergraph::{Hypergraph, HypergraphError};
+pub use hypergraph::{Hypergraph, HypergraphError, MovedEdge, RemovedEdge};
 pub use ops::AggregationOps;

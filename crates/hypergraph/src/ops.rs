@@ -131,6 +131,80 @@ impl AggregationOps {
         }
     }
 
+    /// Builds the operator set restricted to a hyperedge subset *and* a
+    /// vertex subset — the "dependency cone" extraction behind streaming
+    /// head refreshes. Local vertex `i` is global vertex `vertex_ids[i]`,
+    /// local edge `j` is global edge `edge_ids[j]`; `edge_ids` is kept in
+    /// the result so layers gather their per-edge weights globally.
+    ///
+    /// Exactness contract (see the stream crate): when the cone is closed —
+    /// every member of every selected edge appears in `vertex_ids` and
+    /// every edge incident to a target vertex appears in `edge_ids` — the
+    /// rows of a `forward_on` pass over this set are bitwise identical to
+    /// the corresponding rows of the full forward pass, because `select_*`
+    /// preserve per-row entry order and values verbatim and the per-vertex
+    /// renormalisation sees the same counts.
+    ///
+    /// Both id lists must be sorted and duplicate-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range, or (debug) if a selected edge has
+    /// members outside `vertex_ids` — an open cone would silently drop
+    /// aggregation terms.
+    pub fn cone_from(
+        incidence: &CsrMatrix<f32>,
+        v2e_full: &CsrMatrix<f32>,
+        edge_ids: &[usize],
+        vertex_ids: &[usize],
+    ) -> AggregationOps {
+        debug_assert!(edge_ids.windows(2).all(|w| w[0] < w[1]), "edge_ids sorted");
+        debug_assert!(
+            vertex_ids.windows(2).all(|w| w[0] < w[1]),
+            "vertex_ids sorted"
+        );
+        let v2e = v2e_full.select_rows(edge_ids).select_cols(vertex_ids);
+        #[cfg(debug_assertions)]
+        for (j, &e) in edge_ids.iter().enumerate() {
+            debug_assert_eq!(
+                v2e.row_nnz(j),
+                v2e_full.row_nnz(e),
+                "cone_from: edge {e} has members outside vertex_ids"
+            );
+        }
+        let inc_c = incidence.select_rows(vertex_ids).select_cols(edge_ids);
+        let inv_counts: Vec<f32> = (0..inc_c.rows())
+            .map(|v| {
+                let c = inc_c.row_nnz(v);
+                if c > 0 {
+                    1.0 / c as f32
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let e2v = inc_c.scale_rows(&inv_counts);
+        let mut pairs = Vec::with_capacity(inc_c.nnz());
+        for v in 0..inc_c.rows() {
+            for (e, _) in inc_c.row_entries(v) {
+                pairs.push((v, e));
+            }
+        }
+        let segments = pairs.iter().map(|&(v, _)| v).collect::<Vec<_>>();
+        let pair_vertices = segments.clone();
+        let pair_edges = pairs.iter().map(|&(_, e)| e).collect::<Vec<_>>();
+        AggregationOps {
+            n_vertices: vertex_ids.len(),
+            v2e: Rc::new(v2e),
+            e2v: Rc::new(e2v),
+            pairs: Rc::new(pairs),
+            segments: Rc::new(segments),
+            pair_vertices: Rc::new(pair_vertices),
+            pair_edges: Rc::new(pair_edges),
+            edge_ids: Some(Rc::new(edge_ids.to_vec())),
+        }
+    }
+
     /// Number of (selected) hyperedges this operator set aggregates over.
     pub fn n_edges(&self) -> usize {
         self.v2e.rows()
@@ -218,6 +292,35 @@ mod tests {
         assert_eq!(ops.v2e.row_nnz(1), 3);
         // Segment ids stay sorted (softmax grouping requirement).
         assert!(ops.segments.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn closed_cone_preserves_full_rows() {
+        let h = sample();
+        let full = AggregationOps::full(&h);
+        // Cone for target vertex 2: incident edges {0, 1}, their members
+        // {0, 1, 2, 3} — a closed cone around vertex 2.
+        let cone = AggregationOps::cone_from(
+            &h.incidence(),
+            &h.vertex_to_edge_mean(),
+            &[0, 1],
+            &[0, 1, 2, 3],
+        );
+        cone.v2e.validate().unwrap();
+        cone.e2v.validate().unwrap();
+        assert_eq!(cone.n_vertices, 4);
+        assert_eq!(cone.n_edges(), 2);
+        // Vertex 2 keeps its full edge set, so its e2v row is bitwise the
+        // full row (local ids coincide here).
+        assert_eq!(cone.e2v.get(2, 0), full.e2v.get(2, 0));
+        assert_eq!(cone.e2v.get(2, 1), full.e2v.get(2, 1));
+        // Every selected edge keeps all members.
+        assert_eq!(cone.v2e.row_nnz(0), 3);
+        assert_eq!(cone.v2e.row_nnz(1), 2);
+        assert_eq!(cone.edge_ids.as_deref(), Some(&vec![0, 1]));
+        // Pairs are local and sorted by vertex.
+        assert!(cone.pairs.iter().all(|&(v, e)| v < 4 && e < 2));
+        assert!(cone.segments.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

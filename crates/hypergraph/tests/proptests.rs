@@ -3,7 +3,7 @@
 use ahntp_graph::DiGraph;
 use ahntp_hypergraph::{
     attribute_hypergroup, multi_hop_hypergroup_capped, pairwise_hypergroup,
-    social_influence_hypergroup, AggregationOps, Hypergraph,
+    social_influence_hypergroup, AggregationCache, AggregationOps, Hypergraph,
 };
 use ahntp_tensor::{xavier_uniform, SplitMix64, Tensor};
 use proptest::prelude::*;
@@ -23,6 +23,69 @@ fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
         }
         h
     })
+}
+
+/// One streaming mutation; `Remove`/`Reweight` carry a raw index reduced
+/// modulo the live edge count at apply time.
+#[derive(Clone, Debug)]
+enum Mutation {
+    Add(Vec<usize>, f32),
+    Remove(usize),
+    Reweight(usize, f32),
+    Decay(f32),
+}
+
+fn arb_mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        3 => (proptest::collection::btree_set(0usize..N, 1..5), 0.1f32..4.0)
+            .prop_map(|(m, w)| Mutation::Add(m.into_iter().collect(), w)),
+        2 => (0usize..64).prop_map(Mutation::Remove),
+        2 => (0usize..64, 0.1f32..4.0).prop_map(|(e, w)| Mutation::Reweight(e, w)),
+        1 => (0.5f32..0.999).prop_map(Mutation::Decay),
+    ]
+}
+
+/// Asserts the delta-maintained caches equal a from-scratch rebuild,
+/// entry-for-entry in bits.
+fn assert_cache_exact(
+    cache: &AggregationCache,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let h = cache.hypergraph();
+    let fresh = AggregationOps::full(h);
+    let live = cache.full_ops();
+    prop_assert_eq!(&*live.pairs, &*fresh.pairs);
+    prop_assert_eq!(&*live.segments, &*fresh.segments);
+    prop_assert_eq!(&*live.pair_vertices, &*fresh.pair_vertices);
+    prop_assert_eq!(&*live.pair_edges, &*fresh.pair_edges);
+    for (a, b) in [(&live.v2e, &fresh.v2e), (&live.e2v, &fresh.e2v)] {
+        prop_assert_eq!(a.rows(), b.rows());
+        prop_assert_eq!(a.cols(), b.cols());
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                prop_assert_eq!(
+                    a.get(r, c).to_bits(),
+                    b.get(r, c).to_bits(),
+                    "operator entry ({}, {}) drifted", r, c
+                );
+            }
+        }
+    }
+    let lap_fresh = h.laplacian();
+    let lap_live = cache.full_laplacian();
+    for r in 0..N {
+        for c in 0..N {
+            prop_assert_eq!(
+                lap_live.get(r, c).to_bits(),
+                lap_fresh.get(r, c).to_bits(),
+                "Laplacian entry ({}, {}) drifted", r, c
+            );
+        }
+    }
+    let dv_fresh = h.vertex_degrees();
+    for (v, (a, b)) in cache.degree_vector().iter().zip(&dv_fresh).enumerate() {
+        prop_assert_eq!(a.to_bits(), b.to_bits(), "degree of vertex {} drifted", v);
+    }
+    Ok(())
 }
 
 fn arb_digraph() -> impl Strategy<Value = DiGraph> {
@@ -225,6 +288,44 @@ proptest! {
         let yb = b.e2v.mul_dense(&b.v2e.mul_dense(&x));
         for (p, q) in ya.as_slice().iter().zip(yb.as_slice()) {
             prop_assert!((p - q).abs() < 1e-5, "aggregation {} vs {}", p, q);
+        }
+    }
+
+    #[test]
+    fn mutation_sequences_keep_caches_exact(
+        h in arb_hypergraph(),
+        steps in proptest::collection::vec(arb_mutation(), 200),
+    ) {
+        // The streaming keystone: 200 interleaved add/remove/reweight/decay
+        // steps, and after EVERY one the delta-patched operators, Laplacian,
+        // and degrees are bitwise equal to a from-scratch rebuild.
+        let mut cache = AggregationCache::new(h);
+        // Warm everything so mutations must patch, not lazily rebuild.
+        cache.full_ops();
+        cache.full_laplacian();
+        cache.degree_vector();
+        for step in steps {
+            match step {
+                Mutation::Add(members, w) => {
+                    cache.apply_add(&members, w).expect("valid by construction");
+                }
+                Mutation::Remove(raw) => {
+                    if cache.n_edges() > 0 {
+                        let e = raw % cache.n_edges();
+                        cache.apply_remove(e).expect("id reduced into range");
+                    }
+                }
+                Mutation::Reweight(raw, w) => {
+                    if cache.n_edges() > 0 {
+                        let e = raw % cache.n_edges();
+                        cache.apply_reweight(e, w).expect("id reduced into range");
+                    }
+                }
+                Mutation::Decay(f) => {
+                    cache.apply_decay(f).expect("factor in (0, 1)");
+                }
+            }
+            assert_cache_exact(&cache)?;
         }
     }
 

@@ -102,6 +102,13 @@ impl HypergraphConv {
         &self.ops
     }
 
+    /// The per-edge weight parameter `w_e` of Eq. 11 (`m × 1`). Live
+    /// hypergraph mutation resizes this in place via [`Param::set_value`]
+    /// so the column keeps covering every hyperedge.
+    pub fn edge_weights(&self) -> &Param {
+        &self.edge_weights
+    }
+
     /// The per-edge weight column `w_e` of Eq. 11, gathered down to a
     /// slice's selected edges when `ops` is a slice.
     fn edge_weight_column(&self, s: &Session, ops: &AggregationOps) -> Var {
@@ -227,6 +234,12 @@ impl AdaptiveHypergraphConv {
     /// The operator set the layer was constructed over.
     pub fn ops(&self) -> &Rc<AggregationOps> {
         self.base.ops()
+    }
+
+    /// The per-edge weight parameter `w_e` (see
+    /// [`HypergraphConv::edge_weights`]).
+    pub fn edge_weights(&self) -> &Param {
+        self.base.edge_weights()
     }
 
     /// Forward pass over vertex features `x` (`n × in_dim`).

@@ -14,8 +14,10 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::{RwLock, RwLockReadGuard};
 
 use ahntp_nn::{ArtifactError, TrustArtifact};
+use ahntp_stream::HeadPatch;
 use ahntp_telemetry::counter_add;
 
 /// Errors from scoring queries against a [`TrustIndex`].
@@ -257,6 +259,77 @@ impl TrustIndex {
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         Ok(out)
     }
+
+    /// Patches refreshed head rows from a live model into the index in
+    /// place. Rows arrive already L2-normalised (the export invariant),
+    /// so scoring stays one dot product per pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the patch is internally inconsistent, its
+    /// dimensions disagree with the artifact, or a user id is out of
+    /// range. The index is untouched on error.
+    pub fn apply_head_patch(&mut self, patch: &HeadPatch) -> Result<(), String> {
+        patch.check()?;
+        if patch.is_empty() {
+            return Ok(());
+        }
+        if patch.emb_dim != self.artifact.emb_dim || patch.head_dim != self.artifact.head_dim {
+            return Err(format!(
+                "head patch dims {}×{} do not match index dims {}×{}",
+                patch.emb_dim, patch.head_dim, self.artifact.emb_dim, self.artifact.head_dim
+            ));
+        }
+        if let Some(&bad) = patch.users.iter().find(|&&u| u >= self.artifact.n_users) {
+            return Err(format!(
+                "head patch user {bad} out of range (index holds {} users)",
+                self.artifact.n_users
+            ));
+        }
+        let (ed, hd) = (patch.emb_dim, patch.head_dim);
+        for (k, &u) in patch.users.iter().enumerate() {
+            self.artifact.embeddings[u * ed..(u + 1) * ed]
+                .copy_from_slice(&patch.emb_rows[k * ed..(k + 1) * ed]);
+            self.artifact.trustor_head[u * hd..(u + 1) * hd]
+                .copy_from_slice(&patch.trustor_rows[k * hd..(k + 1) * hd]);
+            self.artifact.trustee_head[u * hd..(u + 1) * hd]
+                .copy_from_slice(&patch.trustee_rows[k * hd..(k + 1) * hd]);
+        }
+        counter_add("serve.index.patched_rows", patch.users.len() as u64);
+        Ok(())
+    }
+}
+
+/// A [`TrustIndex`] behind a reader-writer lock: request workers and the
+/// batcher score under read locks while the live-event applier patches
+/// refreshed head rows under short write locks. A frozen server wraps its
+/// index here too and simply never writes.
+#[derive(Debug)]
+pub struct SharedIndex {
+    inner: RwLock<TrustIndex>,
+}
+
+impl SharedIndex {
+    /// Wraps an index for shared serving.
+    pub fn new(index: TrustIndex) -> SharedIndex {
+        SharedIndex { inner: RwLock::new(index) }
+    }
+
+    /// Read access for scoring. The guard pins one index version: every
+    /// score taken under a single guard sees one consistent artifact.
+    pub fn read(&self) -> RwLockReadGuard<'_, TrustIndex> {
+        self.inner.read().expect("index lock poisoned")
+    }
+
+    /// Applies a head patch under the write lock.
+    ///
+    /// # Errors
+    ///
+    /// As [`TrustIndex::apply_head_patch`]; the index is untouched on
+    /// error.
+    pub fn apply_head_patch(&self, patch: &HeadPatch) -> Result<(), String> {
+        self.inner.write().expect("index lock poisoned").apply_head_patch(patch)
+    }
 }
 
 #[cfg(test)]
@@ -338,6 +411,81 @@ mod tests {
     #[test]
     fn loading_rejects_garbage_frames() {
         assert!(TrustIndex::load(b"definitely not an artifact").is_err());
+    }
+
+    #[test]
+    fn head_patches_update_exactly_the_named_rows() {
+        let mut index = toy_index();
+        let sig = |cos: f32| 1.0 / (1.0 + (-cos / 0.5).exp());
+        let patch = HeadPatch {
+            users: vec![1, 3],
+            emb_dim: 2,
+            head_dim: 2,
+            emb_rows: vec![0.5, 0.5, -0.5, -0.5],
+            trustor_rows: vec![0.0, 1.0, 1.0, 0.0],
+            trustee_rows: vec![1.0, 0.0, 0.0, -1.0],
+        };
+        index.apply_head_patch(&patch).unwrap();
+        // Patched rows answer with the new geometry: trustor 1 now points
+        // along +y, trustee 3 along −y.
+        assert_eq!(index.score(1, 2).unwrap(), sig(1.0));
+        assert_eq!(index.score(0, 3).unwrap(), 0.5);
+        // Rows the patch did not name are untouched.
+        assert_eq!(index.score(2, 2).unwrap(), 0.5);
+        assert_eq!(index.score(0, 0).unwrap(), sig(1.0));
+    }
+
+    #[test]
+    fn bad_head_patches_are_rejected_and_leave_the_index_alone() {
+        let mut index = toy_index();
+        let before = index.score_pairs(&[(0, 1), (2, 3)]).unwrap();
+        // Inconsistent row buffer.
+        let mut patch = HeadPatch::empty(2, 2);
+        patch.users = vec![0];
+        assert!(index.apply_head_patch(&patch).is_err());
+        // Dimension mismatch.
+        let patch = HeadPatch {
+            users: vec![0],
+            emb_dim: 3,
+            head_dim: 2,
+            emb_rows: vec![0.0; 3],
+            trustor_rows: vec![1.0, 0.0],
+            trustee_rows: vec![1.0, 0.0],
+        };
+        let err = index.apply_head_patch(&patch).unwrap_err();
+        assert!(err.contains("do not match"), "{err}");
+        // Out-of-range user.
+        let patch = HeadPatch {
+            users: vec![9],
+            emb_dim: 2,
+            head_dim: 2,
+            emb_rows: vec![0.0; 2],
+            trustor_rows: vec![1.0, 0.0],
+            trustee_rows: vec![1.0, 0.0],
+        };
+        let err = index.apply_head_patch(&patch).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        assert_eq!(index.score_pairs(&[(0, 1), (2, 3)]).unwrap(), before);
+        // The empty patch is a no-op, not an error.
+        assert!(index.apply_head_patch(&HeadPatch::empty(2, 2)).is_ok());
+    }
+
+    #[test]
+    fn shared_index_serves_reads_and_applies_writes() {
+        let shared = SharedIndex::new(toy_index());
+        let before = shared.read().score(0, 1).unwrap();
+        let patch = HeadPatch {
+            users: vec![1],
+            emb_dim: 2,
+            head_dim: 2,
+            emb_rows: vec![0.0, 0.0],
+            trustor_rows: vec![0.0, 1.0],
+            trustee_rows: vec![1.0, 0.0],
+        };
+        shared.apply_head_patch(&patch).unwrap();
+        let after = shared.read().score(0, 1).unwrap();
+        // Trustee 1 rotated from cos 0.6 to cos 1.0.
+        assert!(after > before, "{after} vs {before}");
     }
 
     /// Many-user index with distinct head angles so rankings are

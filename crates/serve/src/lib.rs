@@ -17,6 +17,15 @@
 //!   in-flight requests. Endpoints: `POST /score`, `GET /topk`,
 //!   `GET /healthz`, `GET /metrics` (all JSON, via
 //!   `ahntp_telemetry::json`), plus the observability surface below.
+//! * [`serve_live`] — the same server bound to a mutable
+//!   [`ahntp_stream::LiveTrustModel`]: `POST /events` ingests trust
+//!   events (add/remove/reweight/decay hyperedges), a dedicated applier
+//!   thread folds them into the model's delta-maintained caches, and the
+//!   refreshed head rows are patched into the [`SharedIndex`] under
+//!   short write locks — `/score` and `/topk` answer from the live index
+//!   throughout. The `ahntp_stream::StalenessBound` decides how much
+//!   staleness may accumulate between refreshes; the default refreshes
+//!   after every event, keeping the index exact.
 //!
 //! Request latency (`serve.request.us`), batch sizes
 //! (`serve.score.batch_size`), queue depth (`serve.queue.depth`) and
@@ -69,5 +78,5 @@ mod index;
 mod server;
 mod trace_ring;
 
-pub use index::{ScoreError, TrustIndex};
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use index::{ScoreError, SharedIndex, TrustIndex};
+pub use server::{serve, serve_live, ServeConfig, ServerHandle};

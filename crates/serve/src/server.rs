@@ -16,6 +16,17 @@
 //! unblocks the acceptor, workers finish their in-flight requests, and
 //! the batcher drains the queue before exiting — no request is dropped.
 //!
+//! # Live trust
+//!
+//! [`serve_live`] additionally runs an **applier thread** owning a
+//! [`LiveTrustModel`]: `POST /events` batches flow to it over a channel,
+//! it folds them into the model's delta-maintained caches
+//! ([`EventApplier`]), and patches the refreshed head rows into the
+//! shared index under short write locks ([`SharedIndex`]). One consumer
+//! means the event log is totally ordered; `/score` and `/topk` keep
+//! answering from the live index throughout. A server started with
+//! [`serve`] has no model and answers `/events` with `501`.
+//!
 //! Metrics (all under the `serve.` prefix): `serve.http.requests` /
 //! `serve.http.errors` counters, `serve.request.us` latency histogram,
 //! `serve.score.batch_size` histogram, and the `serve.queue.depth` gauge.
@@ -63,8 +74,12 @@ use ahntp_telemetry::{
     metrics_snapshot_json, trace_now_us, warn, KernelKind, KernelSpan,
 };
 
+use ahntp_stream::{
+    parse_events, EventApplier, HeadPatch, LiveTrustModel, StalenessBound, TrustEvent,
+};
+
 use crate::http::{read_request, write_response, write_response_with, HttpError, Request};
-use crate::index::{ScoreError, TrustIndex};
+use crate::index::{ScoreError, SharedIndex, TrustIndex};
 use crate::trace_ring::{RequestTrace, Stage, TraceRing};
 
 /// Tuning knobs for [`serve`].
@@ -159,9 +174,12 @@ impl Response {
 
 /// Everything a worker needs to answer one request.
 struct RequestCtx<'a> {
-    index: &'a TrustIndex,
+    index: &'a SharedIndex,
     queue: &'a BatchQueue,
     traces: &'a TraceRing,
+    /// Channel to the live-event applier thread; `None` on a frozen
+    /// server, which answers `POST /events` with `501`.
+    ingest: Option<&'a mpsc::Sender<IngestJob>>,
     deadline: Duration,
     retry_after: Duration,
 }
@@ -185,6 +203,31 @@ struct ScoreJob {
     /// the batcher works under the requester's id.
     trace_id: u64,
     reply: mpsc::Sender<ScoreReply>,
+}
+
+/// One queued `POST /events` batch bound for the applier thread.
+struct IngestJob {
+    events: Vec<TrustEvent>,
+    trace_id: u64,
+    reply: mpsc::Sender<IngestReply>,
+}
+
+/// What the applier sends back for one ingest batch.
+struct IngestReply {
+    /// Events applied before the first failure (all of them on success).
+    applied: usize,
+    /// Total affected users across the applied events.
+    affected: usize,
+    /// Head rows patched into the index while handling this batch.
+    refreshed: usize,
+    /// Users still dirty after the batch (staleness-bound refresh failed
+    /// or was deferred).
+    dirty: usize,
+    error: Option<String>,
+    /// When the applier drained the job from the channel.
+    picked_up_us: u64,
+    /// When the batch (including its refresh flush) finished.
+    done_us: u64,
 }
 
 #[derive(Default)]
@@ -229,7 +272,7 @@ impl BatchQueue {
 
 /// The batcher loop: sleep until work arrives, linger `batch_wait` to let
 /// a batch form, drain up to `max_batch` pairs, score, reply.
-fn run_batcher(queue: &BatchQueue, index: &TrustIndex, max_batch: usize, batch_wait: Duration) {
+fn run_batcher(queue: &BatchQueue, index: &SharedIndex, max_batch: usize, batch_wait: Duration) {
     loop {
         let mut state = queue.state.lock().unwrap();
         while state.jobs.is_empty() && !state.stopped {
@@ -266,6 +309,10 @@ fn run_batcher(queue: &BatchQueue, index: &TrustIndex, max_batch: usize, batch_w
         gauge_set("serve.queue.depth", state.jobs.len() as f64);
         drop(state);
 
+        // Pin one index version for the whole batch: the read guard keeps
+        // the live applier's write lock out until every job is answered,
+        // so a coalesced batch never sees a half-applied patch.
+        let index = index.read();
         histogram_record("serve.score.batch_size", batch_pairs as u64);
         let picked_up_us = trace_now_us();
         // Score under the requester's trace id when the batch is one job
@@ -342,6 +389,11 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
+    /// Live servers only: the ingest channel and the applier thread.
+    /// Dropping the sender (after the workers' clones are gone) lets the
+    /// applier drain the remaining batches and exit.
+    ingest: Option<mpsc::Sender<IngestJob>>,
+    applier: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -376,6 +428,13 @@ impl ServerHandle {
         if let Some(t) = self.batcher.take() {
             let _ = t.join();
         }
+        // Workers are gone, so the handle holds the last ingest sender:
+        // dropping it disconnects the channel and the applier exits once
+        // it has drained the already-queued batches.
+        drop(self.ingest.take());
+        if let Some(t) = self.applier.take() {
+            let _ = t.join();
+        }
         // Every thread has quiesced: if AHNTP_TRACE_OUT is set, persist
         // the Chrome trace collected over the server's lifetime.
         ahntp_telemetry::flush_trace_to_env();
@@ -389,19 +448,169 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Starts the server and returns once the socket is bound and every
-/// thread is running.
+/// Starts a frozen server (no event ingest) and returns once the socket
+/// is bound and every thread is running. `POST /events` answers `501`;
+/// use [`serve_live`] to serve a mutable model.
 ///
 /// # Errors
 ///
 /// Fails when the address cannot be bound.
 pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle> {
+    serve_shared(Arc::new(SharedIndex::new(index)), config, None)
+}
+
+/// Starts a live server: like [`serve`], plus a `POST /events` endpoint
+/// that folds trust events into a [`LiveTrustModel`] and patches the
+/// refreshed head rows into the scoring index.
+///
+/// The factory runs on a dedicated applier thread (models may hold
+/// non-`Send` state): it builds the model there, seeds the index from
+/// [`LiveTrustModel::export_artifact`], then applies event batches in
+/// arrival order — a single consumer, so the event log is totally
+/// ordered. `bound` decides how much staleness may accumulate between
+/// head refreshes; [`StalenessBound::immediate`] keeps the index exact
+/// after every event.
+///
+/// # Errors
+///
+/// Fails when the address cannot be bound, when the model factory
+/// panics, or when the exported artifact does not validate.
+pub fn serve_live<F>(
+    factory: F,
+    bound: StalenessBound,
+    config: &ServeConfig,
+) -> io::Result<ServerHandle>
+where
+    F: FnOnce() -> Box<dyn LiveTrustModel> + Send + 'static,
+{
+    let (boot_tx, boot_rx) = mpsc::channel();
+    let (ingest_tx, ingest_rx) = mpsc::channel::<IngestJob>();
+    let applier = std::thread::spawn(move || {
+        let model = factory();
+        let shared = match TrustIndex::from_artifact(model.export_artifact()) {
+            Ok(index) => Arc::new(SharedIndex::new(index)),
+            Err(e) => {
+                let _ = boot_tx.send(Err(format!("exported artifact invalid: {e}")));
+                return;
+            }
+        };
+        if boot_tx.send(Ok(Arc::clone(&shared))).is_err() {
+            return; // serve_shared failed to bind; nothing to apply onto
+        }
+        run_applier(&ingest_rx, model, bound, &shared);
+    });
+    let shared = match boot_rx.recv() {
+        Ok(Ok(shared)) => shared,
+        Ok(Err(msg)) => {
+            let _ = applier.join();
+            return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+        }
+        // The factory panicked before reporting anything.
+        Err(_) => {
+            let _ = applier.join();
+            return Err(io::Error::other("live model construction failed"));
+        }
+    };
+    serve_shared(shared, config, Some((ingest_tx, applier)))
+}
+
+/// The applier loop: single consumer of the ingest channel. Each batch
+/// folds into the model through an [`EventApplier`]; refreshed head rows
+/// are patched into the shared index under short write locks. A mid-batch
+/// failure stops the batch, but the successfully applied prefix is still
+/// flushed so the reply always describes an index that has caught up with
+/// everything that was applied.
+fn run_applier(
+    jobs: &mpsc::Receiver<IngestJob>,
+    model: Box<dyn LiveTrustModel>,
+    bound: StalenessBound,
+    index: &SharedIndex,
+) {
+    let mut applier = EventApplier::new(model, bound);
+    while let Ok(job) = jobs.recv() {
+        let picked_up_us = trace_now_us();
+        let _scope = ahntp_telemetry::set_trace_id_scope(job.trace_id);
+        let _span = KernelSpan::enter("serve.ingest", KernelKind::Other);
+        histogram_record("serve.ingest.batch_size", job.events.len() as u64);
+        let mut applied = 0usize;
+        let mut affected = 0usize;
+        let mut refreshed = 0usize;
+        let mut error: Option<String> = None;
+        let patch_index = |patch: Option<HeadPatch>, refreshed: &mut usize| match patch {
+            Some(patch) => match index.apply_head_patch(&patch) {
+                Ok(()) => {
+                    *refreshed += patch.users.len();
+                    None
+                }
+                Err(e) => Some(e),
+            },
+            None => None,
+        };
+        for event in &job.events {
+            match applier.apply(event) {
+                Ok(a) => {
+                    applied += 1;
+                    affected += a.affected_users.len();
+                }
+                Err(e) => {
+                    error = Some(e.to_string());
+                    break;
+                }
+            }
+            match applier.maybe_refresh() {
+                Ok(patch) => {
+                    error = patch_index(patch, &mut refreshed);
+                    if error.is_some() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    error = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        // A fault mid-batch leaves an applied-but-unrefreshed prefix:
+        // flush it so the error reply never hides index lag behind the
+        // failure. (Healthy batches refresh per the staleness bound; a
+        // `stream.refresh` fault keeps the dirty set, so the rows stay
+        // consistent-but-stale and the next refresh retries.)
+        if let Some(message) = &error {
+            if let Ok(patch) = applier.force_refresh() {
+                if let Some(e) = patch_index(patch, &mut refreshed) {
+                    warn!("serve", "ingest flush failed: {e}");
+                }
+            }
+            counter_add("serve.ingest.errors", 1);
+            warn!("serve", "ingest batch failed after {applied} events: {message}");
+        }
+        let _ = job.reply.send(IngestReply {
+            applied,
+            affected,
+            refreshed,
+            dirty: applier.dirty_users().len(),
+            error,
+            picked_up_us,
+            done_us: trace_now_us(),
+        });
+    }
+}
+
+/// Shared startup path for [`serve`] and [`serve_live`].
+fn serve_shared(
+    index: Arc<SharedIndex>,
+    config: &ServeConfig,
+    live: Option<(mpsc::Sender<IngestJob>, JoinHandle<()>)>,
+) -> io::Result<ServerHandle> {
     if config.threads > 0 {
         ahntp_par::set_threads(config.threads);
     }
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let index = Arc::new(index);
+    let (ingest_tx, applier) = match live {
+        Some((tx, thread)) => (Some(tx), Some(thread)),
+        None => (None, None),
+    };
     let shutdown = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(BatchQueue::new(config.queue_capacity.max(1)));
     let traces = Arc::new(TraceRing::new(config.trace_ring));
@@ -440,6 +649,7 @@ pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle
             let queue = Arc::clone(&queue);
             let traces = Arc::clone(&traces);
             let shutdown = Arc::clone(&shutdown);
+            let ingest = ingest_tx.clone();
             let read_timeout = config.read_timeout;
             let (deadline, retry_after) = (config.deadline, config.retry_after);
             std::thread::spawn(move || loop {
@@ -452,6 +662,7 @@ pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle
                     index: &index,
                     queue: &queue,
                     traces: &traces,
+                    ingest: ingest.as_ref(),
                     deadline,
                     retry_after,
                 };
@@ -469,13 +680,17 @@ pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle
         std::thread::spawn(move || run_batcher(&queue, &index, max_batch, batch_wait))
     };
 
-    info!(
-        "serve",
-        "serving {} users of model {:?} on {addr} with {} workers",
-        index.n_users(),
-        index.model(),
-        config.workers.max(1)
-    );
+    {
+        let snapshot = index.read();
+        info!(
+            "serve",
+            "serving {} users of model {:?} on {addr} with {} workers ({})",
+            snapshot.n_users(),
+            snapshot.model(),
+            config.workers.max(1),
+            if ingest_tx.is_some() { "live" } else { "frozen" }
+        );
+    }
     Ok(ServerHandle {
         addr,
         shutdown,
@@ -483,6 +698,8 @@ pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle
         acceptor: Some(acceptor),
         workers,
         batcher: Some(batcher),
+        ingest: ingest_tx,
+        applier,
     })
 }
 
@@ -620,18 +837,24 @@ fn route(
 ) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/score") => score_endpoint(req, ctx, trace_id, stages),
-        ("GET", "/topk") => topk_endpoint(req, ctx.index),
-        ("GET", "/healthz") => Response::new(
-            200,
-            "OK",
-            Json::obj([
-                ("status", "ok".into()),
-                ("model", ctx.index.model().into()),
-                ("n_users", ctx.index.n_users().into()),
-                // Hex string: u64 fingerprints don't fit in JSON's f64.
-                ("fingerprint", format!("{:016x}", ctx.index.fingerprint()).into()),
-            ]),
-        ),
+        ("POST", "/events") => events_endpoint(req, ctx, trace_id, stages),
+        ("GET", "/topk") => topk_endpoint(req, &ctx.index.read()),
+        ("GET", "/healthz") => {
+            let index = ctx.index.read();
+            Response::new(
+                200,
+                "OK",
+                Json::obj([
+                    ("status", "ok".into()),
+                    ("model", index.model().into()),
+                    ("n_users", index.n_users().into()),
+                    // Hex string: u64 fingerprints don't fit in JSON's f64.
+                    ("fingerprint", format!("{:016x}", index.fingerprint()).into()),
+                    // Whether this server ingests live trust events.
+                    ("live", ctx.ingest.is_some().into()),
+                ]),
+            )
+        }
         ("GET", "/metrics") => match req.query.get("format").map(String::as_str) {
             Some("prometheus") => {
                 Response::text("text/plain; version=0.0.4", metrics_prometheus_text())
@@ -652,7 +875,7 @@ fn route(
         ("GET", "/debug/trace.json") => {
             Response::new(200, "OK", ahntp_telemetry::chrome_trace_json())
         }
-        (_, "/score") | (_, "/topk") | (_, "/healthz") | (_, "/metrics")
+        (_, "/score") | (_, "/events") | (_, "/topk") | (_, "/healthz") | (_, "/metrics")
         | (_, "/metrics/prometheus") | (_, "/debug/traces") | (_, "/debug/trace.json") => {
             Response::error(405, "Method Not Allowed", "method not allowed")
         }
@@ -763,6 +986,94 @@ fn score_endpoint(
         // Batcher went away mid-flight (shutdown race): overloaded-style
         // answer rather than a hung worker.
         Err(mpsc::RecvTimeoutError::Disconnected) => shed(ctx, "scoring backend stopped"),
+    }
+}
+
+/// `POST /events`: parses a trust-event batch, hands it to the applier
+/// thread, and reports what was applied. A partial failure (invalid
+/// event, armed `stream.*` failpoint) answers `500` with the applied
+/// prefix length; the index has still caught up with that prefix.
+fn events_endpoint(
+    req: &Request,
+    ctx: &RequestCtx<'_>,
+    trace_id: u64,
+    stages: &mut Vec<Stage>,
+) -> Response {
+    let started = Instant::now();
+    let parse_ts = trace_now_us();
+    // Chaos hook: fail ingest before anything reaches the applier.
+    ahntp_faultz::failpoint!("serve.ingest", |_inj| Response::error(
+        500,
+        "Internal Server Error",
+        "injected fault in event ingest",
+    ));
+    let Some(ingest) = ctx.ingest else {
+        return Response::error(
+            501,
+            "Not Implemented",
+            "this server serves a frozen artifact; start it with serve_live to ingest events",
+        );
+    };
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "Bad Request", "body is not UTF-8"),
+    };
+    let events = match parse_events(text) {
+        Ok(e) => e,
+        Err(m) => return Response::error(400, "Bad Request", &m),
+    };
+    stages.push(Stage {
+        name: "serve.parse",
+        ts_us: parse_ts,
+        dur_us: trace_now_us().saturating_sub(parse_ts),
+    });
+    let n_events = events.len();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let enqueue_ts = trace_now_us();
+    if ingest.send(IngestJob { events, trace_id, reply: reply_tx }).is_err() {
+        return shed(ctx, "ingest backend stopped");
+    }
+    let enqueued_us = trace_now_us();
+    stages.push(Stage {
+        name: "serve.enqueue",
+        ts_us: enqueue_ts,
+        dur_us: enqueued_us.saturating_sub(enqueue_ts),
+    });
+    let remaining = ctx.deadline.saturating_sub(started.elapsed());
+    match reply_rx.recv_timeout(remaining) {
+        Ok(reply) => {
+            stages.push(Stage {
+                name: "serve.ingest.wait",
+                ts_us: enqueued_us,
+                dur_us: reply.picked_up_us.saturating_sub(enqueued_us),
+            });
+            stages.push(Stage {
+                name: "serve.ingest.apply",
+                ts_us: reply.picked_up_us,
+                dur_us: reply.done_us.saturating_sub(reply.picked_up_us),
+            });
+            let mut entries = vec![
+                ("events", Json::from(n_events)),
+                ("applied", Json::from(reply.applied)),
+                ("affected_users", Json::from(reply.affected)),
+                ("refreshed_users", Json::from(reply.refreshed)),
+                ("dirty_users", Json::from(reply.dirty)),
+            ];
+            match reply.error {
+                None => Response::new(200, "OK", Json::obj(entries)),
+                Some(e) => {
+                    entries.push(("error", Json::from(e)));
+                    Response::new(500, "Internal Server Error", Json::obj(entries))
+                }
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            // The batch may still land; only this reply is abandoned.
+            counter_add("serve.deadline_exceeded", 1);
+            Response::error(504, "Gateway Timeout", "ingest deadline exceeded")
+                .retry_after(ctx.retry_after)
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => shed(ctx, "ingest backend stopped"),
     }
 }
 
@@ -1056,7 +1367,7 @@ mod tests {
     #[test]
     fn deadline_and_shed_responses_carry_retry_after() {
         ahntp_telemetry::set_enabled(true);
-        let index = toy_index(4);
+        let index = SharedIndex::new(toy_index(4));
         // Capacity-1 queue with no batcher: the first job is accepted but
         // never answered (deadline path), which leaves the queue full so
         // the second job is shed.
@@ -1066,6 +1377,7 @@ mod tests {
             index: &index,
             queue: &queue,
             traces: &traces,
+            ingest: None,
             deadline: Duration::from_millis(20),
             retry_after: Duration::from_secs(2),
         };
@@ -1083,7 +1395,7 @@ mod tests {
 
     #[test]
     fn healthz_bypasses_the_scoring_queue() {
-        let index = toy_index(3);
+        let index = SharedIndex::new(toy_index(3));
         let queue = BatchQueue::new(1);
         queue.stop(); // scoring is completely dead...
         let traces = TraceRing::new(4);
@@ -1091,6 +1403,7 @@ mod tests {
             index: &index,
             queue: &queue,
             traces: &traces,
+            ingest: None,
             deadline: Duration::from_millis(5),
             retry_after: Duration::from_secs(1),
         };
@@ -1216,6 +1529,259 @@ mod tests {
         assert_eq!(status, 200);
         let doc = parse(&body).unwrap();
         assert!(doc.get("traceEvents").is_some(), "{body}");
+        server.shutdown();
+    }
+
+    use ahntp_hypergraph::HypergraphError;
+    use ahntp_stream::AppliedEvent;
+
+    /// Minimal live model: each user is an angle; adding an edge rotates
+    /// its members by the edge weight. Weight-only events affect nobody,
+    /// matching the real model's semantics.
+    struct ToyLive {
+        angles: Vec<f32>,
+    }
+
+    impl ToyLive {
+        fn new(n: usize) -> ToyLive {
+            ToyLive { angles: (0..n).map(|u| u as f32 * 0.9).collect() }
+        }
+
+        fn rows(&self, users: &[usize]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+            let emb = users.iter().flat_map(|&u| [self.angles[u], 1.0]).collect();
+            let trustor = users
+                .iter()
+                .flat_map(|&u| [self.angles[u].cos(), self.angles[u].sin()])
+                .collect();
+            let trustee = users
+                .iter()
+                .flat_map(|&u| [(self.angles[u] + 0.5).cos(), (self.angles[u] + 0.5).sin()])
+                .collect();
+            (emb, trustor, trustee)
+        }
+    }
+
+    impl LiveTrustModel for ToyLive {
+        fn n_users(&self) -> usize {
+            self.angles.len()
+        }
+
+        fn apply_event(
+            &mut self,
+            event: &TrustEvent,
+        ) -> Result<AppliedEvent, ahntp_stream::StreamError> {
+            match event {
+                TrustEvent::AddEdge { members, weight, .. } => {
+                    let n = self.angles.len();
+                    if let Some(&v) = members.iter().find(|&&m| m >= n) {
+                        return Err(HypergraphError::VertexOutOfRange { vertex: v, n }.into());
+                    }
+                    let mut affected: Vec<usize> = members.clone();
+                    affected.sort_unstable();
+                    affected.dedup();
+                    for &m in &affected {
+                        self.angles[m] += weight;
+                    }
+                    Ok(AppliedEvent { affected_users: affected })
+                }
+                // Weight-only semantics: heads stay exact.
+                _ => Ok(AppliedEvent::default()),
+            }
+        }
+
+        fn refresh_heads(&self, users: &[usize]) -> HeadPatch {
+            let (emb_rows, trustor_rows, trustee_rows) = self.rows(users);
+            HeadPatch {
+                users: users.to_vec(),
+                emb_dim: 2,
+                head_dim: 2,
+                emb_rows,
+                trustor_rows,
+                trustee_rows,
+            }
+        }
+
+        fn export_artifact(&self) -> TrustArtifact {
+            let all: Vec<usize> = (0..self.angles.len()).collect();
+            let (embeddings, trustor_head, trustee_head) = self.rows(&all);
+            TrustArtifact {
+                model: "TOY-LIVE".to_string(),
+                fingerprint: 0x70f0_0000_0000_0001,
+                calibration: 0.5,
+                n_users: self.angles.len(),
+                emb_dim: 2,
+                head_dim: 2,
+                embeddings,
+                trustor_head,
+                trustee_head,
+            }
+        }
+
+        fn rebuild_artifact(&self) -> TrustArtifact {
+            self.export_artifact()
+        }
+    }
+
+    fn post_events(addr: SocketAddr, body: &str) -> (u16, String) {
+        exchange(
+            addr,
+            &format!(
+                "POST /events HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn live_server_ingests_events_and_scores_from_the_patched_index() {
+        ahntp_telemetry::set_enabled(true);
+        let server = serve_live(
+            || Box::new(ToyLive::new(5)),
+            StalenessBound::immediate(),
+            &ServeConfig { workers: 2, ..ServeConfig::default() },
+        )
+        .expect("bind live server");
+        let addr = server.addr();
+
+        let (status, body) =
+            exchange(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 200);
+        let doc = parse(&body).unwrap();
+        assert_eq!(doc.get("live"), Some(&Json::Bool(true)), "{body}");
+
+        let (status, body) = post_events(
+            addr,
+            r#"{"events":[{"op":"add","group":"node","members":[0,2],"weight":0.7}]}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        let doc = parse(&body).unwrap();
+        assert_eq!(doc.get("applied").and_then(Json::as_f64), Some(1.0), "{body}");
+        assert_eq!(doc.get("affected_users").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("refreshed_users").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("dirty_users").and_then(Json::as_f64), Some(0.0));
+
+        // The live index now answers with the mutated geometry: mirror
+        // the event on a local model and compare.
+        let mut mirror = ToyLive::new(5);
+        mirror
+            .apply_event(&TrustEvent::AddEdge {
+                group: ahntp_stream::HyperGroup::Node,
+                members: vec![0, 2],
+                weight: 0.7,
+            })
+            .unwrap();
+        let want = TrustIndex::from_artifact(mirror.export_artifact())
+            .unwrap()
+            .score_pairs(&[(0, 2), (2, 4), (1, 1)])
+            .unwrap();
+        let (status, body) = post_score(addr, r#"{"pairs":[[0,2],[2,4],[1,1]]}"#);
+        assert_eq!(status, 200, "{body}");
+        let doc = parse(&body).unwrap();
+        let Some(Json::Arr(scores)) = doc.get("scores") else {
+            panic!("no scores in {body}");
+        };
+        for (got, want) in scores.iter().zip(&want) {
+            let got = got.as_f64().unwrap();
+            assert!((got - f64::from(*want)).abs() < 1e-6, "{got} vs {want}");
+        }
+
+        // A malformed body is rejected before it reaches the applier.
+        let (status, body) = post_events(addr, r#"{"events":[{"op":"levitate"}]}"#);
+        assert_eq!(status, 400, "{body}");
+
+        // An invalid event mid-batch: the prefix lands, the offender is
+        // reported, and nothing after it applies.
+        let (status, body) = post_events(
+            addr,
+            r#"{"events":[
+                {"op":"add","group":"node","members":[1],"weight":0.1},
+                {"op":"add","group":"node","members":[0,9],"weight":1.0},
+                {"op":"add","group":"node","members":[3],"weight":9.9}
+            ]}"#,
+        );
+        assert_eq!(status, 500, "{body}");
+        let doc = parse(&body).unwrap();
+        assert_eq!(doc.get("applied").and_then(Json::as_f64), Some(1.0), "{body}");
+        assert!(
+            doc.get("error").and_then(Json::as_str).unwrap_or("").contains("out of range"),
+            "{body}"
+        );
+        // The mirror applies the same prefix; scores still agree.
+        mirror
+            .apply_event(&TrustEvent::AddEdge {
+                group: ahntp_stream::HyperGroup::Node,
+                members: vec![1],
+                weight: 0.1,
+            })
+            .unwrap();
+        let want = TrustIndex::from_artifact(mirror.export_artifact())
+            .unwrap()
+            .score(1, 3)
+            .unwrap();
+        let (status, body) = post_score(addr, r#"{"pairs":[[1,3]]}"#);
+        assert_eq!(status, 200, "{body}");
+        let got = parse(&body)
+            .unwrap()
+            .get("scores")
+            .and_then(|s| match s {
+                Json::Arr(a) => a[0].as_f64(),
+                _ => None,
+            })
+            .unwrap();
+        assert!((got - f64::from(want)).abs() < 1e-6, "{got} vs {want}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_batched_staleness_bound_defers_refreshes_until_exceeded() {
+        ahntp_telemetry::set_enabled(true);
+        let server = serve_live(
+            || Box::new(ToyLive::new(4)),
+            StalenessBound::batched(2),
+            &ServeConfig { workers: 1, ..ServeConfig::default() },
+        )
+        .expect("bind live server");
+        let addr = server.addr();
+        // Two events stay under the bound: applied but not refreshed.
+        let (status, body) = post_events(
+            addr,
+            r#"{"events":[
+                {"op":"add","group":"node","members":[0],"weight":0.3},
+                {"op":"add","group":"node","members":[1],"weight":0.3}
+            ]}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        let doc = parse(&body).unwrap();
+        assert_eq!(doc.get("refreshed_users").and_then(Json::as_f64), Some(0.0), "{body}");
+        assert_eq!(doc.get("dirty_users").and_then(Json::as_f64), Some(2.0));
+        // The third event exceeds max_pending_events = 2: everything
+        // dirty refreshes in one patch.
+        let (status, body) = post_events(
+            addr,
+            r#"{"events":[{"op":"add","group":"node","members":[2],"weight":0.3}]}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        let doc = parse(&body).unwrap();
+        assert_eq!(doc.get("refreshed_users").and_then(Json::as_f64), Some(3.0), "{body}");
+        assert_eq!(doc.get("dirty_users").and_then(Json::as_f64), Some(0.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn events_on_a_frozen_server_answer_501() {
+        let server = start(4);
+        let addr = server.addr();
+        let (status, body) =
+            post_events(addr, r#"{"events":[{"op":"decay","factor":0.9}]}"#);
+        assert_eq!(status, 501, "{body}");
+        assert!(body.contains("serve_live"), "{body}");
+        let (status, _) = exchange(addr, "GET /events HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 405);
+        // And the frozen health check says so.
+        let (status, body) =
+            exchange(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(status, 200);
+        assert_eq!(parse(&body).unwrap().get("live"), Some(&Json::Bool(false)), "{body}");
         server.shutdown();
     }
 }

@@ -1,0 +1,186 @@
+//! The streaming exactness harness: the defining invariant of the live
+//! trust path, end to end through the public API.
+//!
+//! A trained model absorbs 120 mixed mutation events (hyperedge adds,
+//! removes, reweights, and decays on both hypergraph levels); after each
+//! event the delta-maintained head refresh is patched into an artifact,
+//! and the patched artifact must stay within `1e-6` of a from-scratch
+//! rebuild of the mutated structure. The whole run must also be bitwise
+//! identical at 1 and 4 kernel threads (the deterministic-kernel
+//! contract of `ahntp-par`).
+
+use ahntp::{Ahntp, AhntpConfig};
+use ahntp_data::{DatasetConfig, TrustDataset};
+use ahntp_eval::TrustModel;
+use ahntp_nn::TrustArtifact;
+use ahntp_stream::{HyperGroup, LiveTrustModel, TrustEvent};
+
+const N_USERS: usize = 70;
+const N_EVENTS: usize = 120;
+
+fn trained_model() -> Ahntp {
+    let ds = TrustDataset::generate(&DatasetConfig::ciao_like(N_USERS, 5));
+    let split = ds.split(0.8, 0.2, 2, 42);
+    let cfg = AhntpConfig {
+        conv_dims: vec![16, 8],
+        tower_dims: vec![8],
+        ..AhntpConfig::default()
+    };
+    let mut model = Ahntp::new(&ds.features, &ds.attributes, &split.train_graph, &cfg);
+    for _ in 0..2 {
+        model.train_epoch(&split.train);
+    }
+    model
+}
+
+/// Deterministic LCG so the event stream is identical across runs and
+/// thread counts.
+fn lcg(state: &mut u64) -> usize {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 33) as usize
+}
+
+/// The mixed event stream: mostly adds, with removes, reweights, and
+/// decays interleaved on both hypergraph levels. Generated against the
+/// running edge counts so every structural id is valid at apply time.
+fn event_stream(n_node: usize, n_struct: usize) -> Vec<TrustEvent> {
+    let mut counts = [n_node, n_struct];
+    let mut rng: u64 = 0x5eed_2024;
+    let mut events = Vec::with_capacity(N_EVENTS);
+    for i in 0..N_EVENTS {
+        let g = i % 2;
+        let group = if g == 0 { HyperGroup::Node } else { HyperGroup::Structure };
+        let event = match i % 8 {
+            3 if counts[g] > 4 => TrustEvent::RemoveEdge {
+                group,
+                edge: lcg(&mut rng) % counts[g],
+            },
+            5 if counts[g] > 0 => TrustEvent::ReweightEdge {
+                group,
+                edge: lcg(&mut rng) % counts[g],
+                weight: 0.3 + (lcg(&mut rng) % 90) as f32 / 60.0,
+            },
+            7 => TrustEvent::Decay {
+                factor: 0.9 + (lcg(&mut rng) % 9) as f32 / 100.0,
+            },
+            _ => {
+                let a = lcg(&mut rng) % N_USERS;
+                let mut b = lcg(&mut rng) % N_USERS;
+                if b == a {
+                    b = (b + 1) % N_USERS;
+                }
+                let mut members = vec![a, b];
+                if lcg(&mut rng) % 2 == 0 {
+                    let mut c = lcg(&mut rng) % N_USERS;
+                    while c == a || c == b {
+                        c = (c + 1) % N_USERS;
+                    }
+                    members.push(c);
+                }
+                TrustEvent::AddEdge {
+                    group,
+                    members,
+                    weight: 0.4 + (lcg(&mut rng) % 100) as f32 / 50.0,
+                }
+            }
+        };
+        match &event {
+            TrustEvent::AddEdge { .. } => counts[g] += 1,
+            TrustEvent::RemoveEdge { .. } => counts[g] -= 1,
+            _ => {}
+        }
+        events.push(event);
+    }
+    events
+}
+
+/// Folds `patch` into the flat head matrices of `artifact`.
+fn apply_patch(artifact: &mut TrustArtifact, patch: &ahntp_stream::HeadPatch) {
+    patch.check().expect("well-formed patch");
+    for (k, &u) in patch.users.iter().enumerate() {
+        let (ed, hd) = (patch.emb_dim, patch.head_dim);
+        artifact.embeddings[u * ed..(u + 1) * ed]
+            .copy_from_slice(&patch.emb_rows[k * ed..(k + 1) * ed]);
+        artifact.trustor_head[u * hd..(u + 1) * hd]
+            .copy_from_slice(&patch.trustor_rows[k * hd..(k + 1) * hd]);
+        artifact.trustee_head[u * hd..(u + 1) * hd]
+            .copy_from_slice(&patch.trustee_rows[k * hd..(k + 1) * hd]);
+    }
+}
+
+fn assert_artifacts_close(live: &TrustArtifact, oracle: &TrustArtifact, what: &str) {
+    for (name, a, b) in [
+        ("embeddings", &live.embeddings, &oracle.embeddings),
+        ("trustor_head", &live.trustor_head, &oracle.trustor_head),
+        ("trustee_head", &live.trustee_head, &oracle.trustee_head),
+    ] {
+        assert_eq!(a.len(), b.len(), "{what}: {name} length");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-6,
+                "{what}: {name}[{i}] live {x} vs rebuilt {y}"
+            );
+        }
+    }
+}
+
+/// Runs the full event sequence at a given thread count, checking the
+/// patched artifact against the rebuild oracle after every event.
+fn run_sequence(threads: usize) -> TrustArtifact {
+    ahntp_par::set_threads(threads);
+    let mut model = trained_model();
+    let mut artifact = Ahntp::export_artifact(&model);
+    let (n_node, n_struct) = model.hyperedge_counts();
+    let events = event_stream(n_node, n_struct);
+    let mut ops = [0usize; 4];
+    for (i, event) in events.iter().enumerate() {
+        ops[match event.op() {
+            "add" => 0,
+            "remove" => 1,
+            "reweight" => 2,
+            _ => 3,
+        }] += 1;
+        let applied = model
+            .apply_event(event)
+            .unwrap_or_else(|e| panic!("event {i} ({}) rejected: {e}", event.op()));
+        let patch = model.refresh_heads(&applied.affected_users);
+        apply_patch(&mut artifact, &patch);
+        let oracle = model.rebuild_artifact();
+        assert_artifacts_close(
+            &artifact,
+            &oracle,
+            &format!("event {i} ({}) at {threads} threads", event.op()),
+        );
+    }
+    // The stream genuinely mixed every operation.
+    assert!(events.len() >= 100, "only {} events", events.len());
+    for (op, n) in ["add", "remove", "reweight", "decay"].iter().zip(&ops) {
+        assert!(*n > 0, "stream never exercised {op}");
+    }
+    artifact
+}
+
+#[test]
+fn mixed_event_stream_stays_within_tolerance_of_the_rebuild_oracle() {
+    let old_threads = ahntp_par::threads();
+    let serial = run_sequence(1);
+    let parallel = run_sequence(4);
+    ahntp_par::set_threads(old_threads);
+    // Same events, same bits: the delta path is thread-invariant.
+    for (name, a, b) in [
+        ("embeddings", &serial.embeddings, &parallel.embeddings),
+        ("trustor_head", &serial.trustor_head, &parallel.trustor_head),
+        ("trustee_head", &serial.trustee_head, &parallel.trustee_head),
+    ] {
+        assert_eq!(a.len(), b.len(), "{name} length");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{name}[{i}]: 1-thread {x} vs 4-thread {y}"
+            );
+        }
+    }
+}
