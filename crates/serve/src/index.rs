@@ -3,22 +3,42 @@
 //! A [`TrustIndex`] wraps a decoded [`TrustArtifact`] and answers trust
 //! queries with no graph machinery: the artifact's head rows are already
 //! L2-normalised, so `score(u, v)` is one `O(d)` dot product followed by
-//! the trainer's calibrated sigmoid, and `top_k_trustees` is a single
-//! heap-tracked scan over all candidate rows.
+//! the trainer's calibrated sigmoid, and `top_k_trustees` ranks
+//! candidates over one row scan.
+//!
+//! *How* the dot and the candidate scan are computed is delegated to a
+//! pluggable [`ScoringBackend`](crate::backend) — `exact` (the scalar
+//! reference), `simd` (lane-unrolled, bitwise-equal to exact), `int8`
+//! (quantized, ~4× smaller, measured error bound), or `ivf` (coarse
+//! clustering, sublinear `/topk`). The backend is picked by
+//! [`BackendKind::from_env`] (`AHNTP_BACKEND`) at construction, or
+//! explicitly via [`TrustIndex::from_artifact_with`] /
+//! [`TrustIndex::with_backend`].
 //!
 //! Big batches and big candidate scans are split across the `ahntp-par`
 //! worker pool: each pair/candidate is scored by exactly one task with
-//! the serial arithmetic, and the per-band top-k heaps merge under the
-//! same total order the serial heap uses, so results are bitwise
-//! identical to serial at any thread count.
+//! banding-invariant arithmetic, and the per-band top-k heaps merge under
+//! one total order, so every backend's results are bitwise identical to
+//! its own serial execution at any thread count.
+//!
+//! # Top-k tie-break
+//!
+//! [`TrustIndex::top_k_trustees`] orders its output by **score
+//! descending, then user id ascending**. The id tie-break is load-bearing
+//! twice over: it makes responses deterministic when distinct candidates
+//! collide on a score (common under `int8`, where quantized dots tie far
+//! more often than f32 dots), and it makes exact-vs-approximate recall
+//! comparisons well-defined — two backends that agree on scores agree on
+//! the returned set and order, so any disagreement is genuine
+//! approximation error, never arbitrary tie resolution.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::{RwLock, RwLockReadGuard};
 
 use ahntp_nn::{ArtifactError, TrustArtifact};
 use ahntp_stream::HeadPatch;
 use ahntp_telemetry::counter_add;
+
+use crate::backend::{BackendKind, ScoringBackend};
 
 /// Errors from scoring queries against a [`TrustIndex`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,51 +64,87 @@ impl std::fmt::Display for ScoreError {
 
 impl std::error::Error for ScoreError {}
 
-/// A candidate ordered by score for the top-k heap. Scores are finite
-/// (artifact validation guarantees finite inputs), so `total_cmp` is a
-/// plain total order here.
-#[derive(Debug, PartialEq)]
-struct Ranked {
-    score: f32,
-    user: usize,
-}
-
-impl Eq for Ranked {}
-
-impl PartialOrd for Ranked {
-    fn partial_cmp(&self, other: &Ranked) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+/// Static kernel-span name per backend so traces carry the backend label
+/// without a per-request allocation.
+fn topk_span(kind: BackendKind) -> &'static str {
+    match kind {
+        BackendKind::Exact => "serve.topk.exact",
+        BackendKind::Simd => "serve.topk.simd",
+        BackendKind::Int8 => "serve.topk.int8",
+        BackendKind::Ivf(_) => "serve.topk.ivf",
     }
 }
 
-impl Ord for Ranked {
-    fn cmp(&self, other: &Ranked) -> std::cmp::Ordering {
-        // Ties broken toward the smaller user id for determinism.
-        self.score
-            .total_cmp(&other.score)
-            .then(other.user.cmp(&self.user))
+fn score_span(kind: BackendKind) -> &'static str {
+    match kind {
+        BackendKind::Exact => "serve.score_pairs.exact",
+        BackendKind::Simd => "serve.score_pairs.simd",
+        BackendKind::Int8 => "serve.score_pairs.int8",
+        BackendKind::Ivf(_) => "serve.score_pairs.ivf",
     }
 }
 
-/// Frozen trust-scoring index over an exported [`TrustArtifact`].
-#[derive(Debug, Clone)]
+/// Trust-scoring index over an exported [`TrustArtifact`], scored through
+/// a pluggable backend. "Frozen" in the sense that only live-trust head
+/// patches mutate it, and those re-derive exactly the touched rows.
+#[derive(Debug)]
 pub struct TrustIndex {
     artifact: TrustArtifact,
+    kind: BackendKind,
+    backend: Box<dyn ScoringBackend>,
+    /// Pre-interned per-backend counter names (no `format!` per request).
+    m_score_calls: String,
+    m_topk_calls: String,
+}
+
+impl Clone for TrustIndex {
+    fn clone(&self) -> TrustIndex {
+        // Backends are pure functions of (artifact, kind), so a clone
+        // rebuilds identical derived state.
+        TrustIndex::assemble(self.artifact.clone(), self.kind)
+    }
 }
 
 impl TrustIndex {
-    /// Builds the index from a decoded artifact, re-validating it.
+    fn assemble(artifact: TrustArtifact, kind: BackendKind) -> TrustIndex {
+        let backend = kind.build(&artifact);
+        TrustIndex {
+            m_score_calls: format!("serve.score_pairs.{}.calls", kind.name()),
+            m_topk_calls: format!("serve.topk.{}.calls", kind.name()),
+            artifact,
+            kind,
+            backend,
+        }
+    }
+
+    /// Builds the index from a decoded artifact, re-validating it. The
+    /// scoring backend comes from the environment
+    /// ([`BackendKind::from_env`]; `AHNTP_BACKEND`, default `exact`).
     ///
     /// # Errors
     ///
     /// Returns the artifact's own [`ArtifactError`] when it is
     /// inconsistent.
     pub fn from_artifact(artifact: TrustArtifact) -> Result<TrustIndex, ArtifactError> {
-        artifact.validate()?;
-        Ok(TrustIndex { artifact })
+        TrustIndex::from_artifact_with(artifact, BackendKind::from_env())
     }
 
-    /// Decodes an `AHNTPSRV1` frame and builds the index.
+    /// Builds the index with an explicit scoring backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns the artifact's own [`ArtifactError`] when it is
+    /// inconsistent.
+    pub fn from_artifact_with(
+        artifact: TrustArtifact,
+        kind: BackendKind,
+    ) -> Result<TrustIndex, ArtifactError> {
+        artifact.validate()?;
+        Ok(TrustIndex::assemble(artifact, kind))
+    }
+
+    /// Decodes an `AHNTPSRV1` frame and builds the index (backend from
+    /// the environment, as [`TrustIndex::from_artifact`]).
     ///
     /// # Errors
     ///
@@ -96,6 +152,42 @@ impl TrustIndex {
     /// inconsistent frames.
     pub fn load(bytes: &[u8]) -> Result<TrustIndex, ArtifactError> {
         TrustIndex::from_artifact(TrustArtifact::decode(bytes)?)
+    }
+
+    /// Rebuilds this index on a different scoring backend. Derived state
+    /// (quantized matrices, posting lists) is reconstructed from the
+    /// artifact, so the swap is deterministic.
+    pub fn with_backend(self, kind: BackendKind) -> TrustIndex {
+        TrustIndex::assemble(self.artifact, kind)
+    }
+
+    /// The backend this index scores through.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// Stable backend name (`exact`, `simd`, `int8`, `ivf`).
+    pub fn backend_name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Rigorous bound on `|score − exact_score|` for pair scoring under
+    /// this backend, in probability units. `0.0` for `exact`, `simd`
+    /// (bitwise-equal), and `ivf` (exact pair dots); measured at build
+    /// time for `int8`.
+    pub fn score_error_bound(&self) -> f32 {
+        self.backend.score_error_bound(&self.artifact)
+    }
+
+    /// Whether `top_k_trustees` may return a candidate set different from
+    /// the exact scan (recall < 1): true for `int8` and `ivf`.
+    pub fn approximate_top_k(&self) -> bool {
+        self.backend.approximate_top_k()
+    }
+
+    /// Bytes of scoring-path state per user under this backend.
+    pub fn bytes_per_user(&self) -> usize {
+        self.backend.bytes_per_user(&self.artifact)
     }
 
     /// Number of users the index can score.
@@ -124,24 +216,15 @@ impl TrustIndex {
         }
     }
 
-    /// Raw head dot product for a pair — the cosine of the tower outputs,
-    /// since rows are L2-normalised at export time.
-    fn dot(&self, trustor: usize, trustee: usize) -> f32 {
-        let d = self.artifact.head_dim;
-        self.artifact.trustor_head[trustor * d..(trustor + 1) * d]
-            .iter()
-            .zip(&self.artifact.trustee_head[trustee * d..(trustee + 1) * d])
-            .map(|(a, b)| a * b)
-            .sum()
-    }
-
     fn calibrated(&self, dot: f32) -> f32 {
         1.0 / (1.0 + (-dot / self.artifact.calibration).exp())
     }
 
     /// Probability that `trustor` trusts `trustee`:
     /// `σ(⟨trustor_head[u], trustee_head[v]⟩ / c)`, matching
-    /// `Ahntp::predict` within float tolerance.
+    /// `Ahntp::predict` within float tolerance on the exact backend and
+    /// within [`TrustIndex::score_error_bound`] of that on approximate
+    /// ones.
     ///
     /// # Errors
     ///
@@ -149,7 +232,7 @@ impl TrustIndex {
     pub fn score(&self, trustor: usize, trustee: usize) -> Result<f32, ScoreError> {
         self.check(trustor)?;
         self.check(trustee)?;
-        Ok(self.calibrated(self.dot(trustor, trustee)))
+        Ok(self.calibrated(self.backend.dot(&self.artifact, trustor, trustee)))
     }
 
     /// Scores a batch of `(trustor, trustee)` pairs in order.
@@ -159,58 +242,41 @@ impl TrustIndex {
     /// Fails on the first out-of-range id; no partial results.
     pub fn score_pairs(&self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, ScoreError> {
         let _k = ahntp_telemetry::KernelSpan::enter(
-            "serve.score_pairs",
+            score_span(self.kind),
             ahntp_telemetry::KernelKind::Score,
         );
+        counter_add(&self.m_score_calls, 1);
         for &(u, v) in pairs {
             self.check(u)?;
             self.check(v)?;
         }
+        let mut out = vec![0.0f32; pairs.len()];
         if ahntp_par::par_enabled(2 * pairs.len() * self.artifact.head_dim) && pairs.len() >= 2
         {
             counter_add("serve.score_pairs.par_calls", 1);
-            let mut out = vec![0.0f32; pairs.len()];
             let band = ahntp_par::band_size(pairs.len());
             ahntp_par::par_chunks(&mut out, band, |ci, chunk| {
                 let off = ci * band;
-                for (i, o) in chunk.iter_mut().enumerate() {
-                    let (u, v) = pairs[off + i];
-                    *o = self.calibrated(self.dot(u, v));
-                }
+                self.backend
+                    .dot_batch(&self.artifact, &pairs[off..off + chunk.len()], chunk);
             });
-            return Ok(out);
+        } else {
+            self.backend.dot_batch(&self.artifact, pairs, &mut out);
         }
-        Ok(pairs.iter().map(|&(u, v)| self.calibrated(self.dot(u, v))).collect())
-    }
-
-    /// Heap-tracked scan over the candidate band `c0..c1` (excluding
-    /// `trustor`): the best `k` raw-dot candidates, in no particular
-    /// order. Candidate sets are banding-independent because [`Ranked`]
-    /// is a total order over distinct user ids — there are no ties for
-    /// the heap to break arbitrarily.
-    fn top_k_band(&self, trustor: usize, k: usize, c0: usize, c1: usize) -> Vec<Ranked> {
-        let mut heap: BinaryHeap<Reverse<Ranked>> = BinaryHeap::with_capacity(k + 1);
-        for candidate in c0..c1 {
-            if candidate == trustor {
-                continue;
-            }
-            let score = self.dot(trustor, candidate);
-            if heap.len() < k {
-                heap.push(Reverse(Ranked { score, user: candidate }));
-            } else if let Some(worst) = heap.peek() {
-                if (Ranked { score, user: candidate }) > worst.0 {
-                    heap.pop();
-                    heap.push(Reverse(Ranked { score, user: candidate }));
-                }
-            }
+        for v in &mut out {
+            *v = self.calibrated(*v);
         }
-        heap.into_iter().map(|Reverse(r)| r).collect()
+        Ok(out)
     }
 
     /// The `k` most-trusted candidate trustees for `trustor` (excluding
-    /// `trustor` itself), best first; ties break toward smaller user ids.
-    /// Returns fewer than `k` entries only when the index holds fewer
-    /// candidates.
+    /// `trustor` itself), ordered by **score descending, then user id
+    /// ascending** — the documented deterministic tie-break, shared by
+    /// every backend so exact-vs-approximate comparisons are well-defined
+    /// at score ties. Returns fewer than `k` entries only when the index
+    /// holds fewer candidates (or, under `ivf`, when probing exhausts all
+    /// posting lists first — probing always widens until at least `k`
+    /// candidates were seen).
     ///
     /// # Errors
     ///
@@ -221,32 +287,12 @@ impl TrustIndex {
         k: usize,
     ) -> Result<Vec<(usize, f32)>, ScoreError> {
         let _k = ahntp_telemetry::KernelSpan::enter(
-            "serve.topk",
+            topk_span(self.kind),
             ahntp_telemetry::KernelKind::Score,
         );
+        counter_add(&self.m_topk_calls, 1);
         self.check(trustor)?;
-        let n = self.artifact.n_users;
-        let ranked = if ahntp_par::par_enabled(2 * n * self.artifact.head_dim) && n >= 2 {
-            // Band the candidate scan, keep k per band, then select the
-            // global top k from the union. The union is a superset of the
-            // serial heap's survivors and Ranked never ties, so the final
-            // selection is the exact serial candidate set.
-            counter_add("serve.topk.par_calls", 1);
-            let band = ahntp_par::band_size(n);
-            let n_bands = n.div_ceil(band);
-            let mut merged: Vec<Ranked> = ahntp_par::par_map(n_bands, |bi| {
-                let c0 = bi * band;
-                self.top_k_band(trustor, k, c0, (c0 + band).min(n))
-            })
-            .into_iter()
-            .flatten()
-            .collect();
-            merged.sort_by(|a, b| b.cmp(a));
-            merged.truncate(k);
-            merged
-        } else {
-            self.top_k_band(trustor, k, 0, n)
-        };
+        let ranked = self.backend.top_k(&self.artifact, trustor, k);
         let mut out: Vec<(usize, f32)> = ranked
             .into_iter()
             .map(|r| (r.user, self.calibrated(r.score)))
@@ -254,15 +300,18 @@ impl TrustIndex {
         // The dot→probability map is monotonic, so sorting by probability
         // equals sorting by dot product — except where calibration rounds
         // two distinct dots to the same f32, where the id tiebreak takes
-        // over; both paths feed the same candidate set through the same
-        // sort, so the output order is identical either way.
+        // over; every backend feeds its candidate set through this same
+        // sort, so the output order is identical for identical scores.
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         Ok(out)
     }
 
     /// Patches refreshed head rows from a live model into the index in
     /// place. Rows arrive already L2-normalised (the export invariant),
-    /// so scoring stays one dot product per pair.
+    /// so scoring stays one dot product per pair. The backend re-derives
+    /// exactly the patched rows (re-quantization under `int8`,
+    /// posting-list reassignment under `ivf`), so the live-trust path
+    /// keeps each backend's stated envelope.
     ///
     /// # Errors
     ///
@@ -295,6 +344,7 @@ impl TrustIndex {
             self.artifact.trustee_head[u * hd..(u + 1) * hd]
                 .copy_from_slice(&patch.trustee_rows[k * hd..(k + 1) * hd]);
         }
+        self.backend.on_patch(&self.artifact, &patch.users);
         counter_add("serve.index.patched_rows", patch.users.len() as u64);
         Ok(())
     }
@@ -352,7 +402,7 @@ mod tests {
             // Trustee rows at distinct angles: cos = 1, 0.6, 0, -1.
             trustee_head: vec![1.0, 0.0, 0.6, 0.8, 0.0, 1.0, -1.0, 0.0],
         };
-        TrustIndex::from_artifact(artifact).unwrap()
+        TrustIndex::from_artifact_with(artifact, BackendKind::Exact).unwrap()
     }
 
     #[test]
@@ -408,9 +458,89 @@ mod tests {
         assert!(index.top_k_trustees(0, 0).unwrap().is_empty());
     }
 
+    /// The documented deterministic tie-break: score descending, then
+    /// user id ascending — asserted on exact ties under every backend so
+    /// exact-vs-approx recall comparisons are well-defined.
+    #[test]
+    fn top_k_breaks_score_ties_by_ascending_user_id() {
+        // Five trustees; ids 1, 2, 4 share one row bit-for-bit (dot 0.6
+        // from trustor 0), id 3 scores higher, id 0 is the trustor.
+        let tied = [0.6f32, 0.8];
+        let artifact = TrustArtifact {
+            model: "AHNTP".to_string(),
+            fingerprint: 7,
+            calibration: 0.5,
+            n_users: 5,
+            emb_dim: 2,
+            head_dim: 2,
+            embeddings: vec![0.0; 10],
+            trustor_head: [1.0, 0.0].repeat(5),
+            trustee_head: [
+                &tied[..],
+                &tied[..],
+                &tied[..],
+                &[1.0, 0.0][..],
+                &tied[..],
+            ]
+            .concat(),
+        };
+        for kind in [
+            BackendKind::Exact,
+            BackendKind::Simd,
+            BackendKind::Int8,
+            BackendKind::Ivf(crate::backend::IvfParams::default()),
+        ] {
+            let index =
+                TrustIndex::from_artifact_with(artifact.clone(), kind).unwrap();
+            let got: Vec<usize> = index
+                .top_k_trustees(0, 5)
+                .unwrap()
+                .into_iter()
+                .map(|(u, _)| u)
+                .collect();
+            // Highest score first, then the tied block in ascending id.
+            assert_eq!(got, vec![3, 1, 2, 4], "{} backend", kind.name());
+            // A k that cuts through the tied block keeps the same prefix.
+            let got: Vec<usize> = index
+                .top_k_trustees(0, 2)
+                .unwrap()
+                .into_iter()
+                .map(|(u, _)| u)
+                .collect();
+            assert_eq!(got, vec![3, 1], "{} backend at k=2", kind.name());
+        }
+    }
+
     #[test]
     fn loading_rejects_garbage_frames() {
         assert!(TrustIndex::load(b"definitely not an artifact").is_err());
+    }
+
+    #[test]
+    fn backend_selection_is_visible_and_swappable() {
+        let index = toy_index();
+        assert_eq!(index.backend_name(), "exact");
+        assert_eq!(index.backend_kind(), BackendKind::Exact);
+        assert_eq!(index.score_error_bound(), 0.0);
+        assert!(!index.approximate_top_k());
+        let exact_scores = index.score_pairs(&[(0, 1), (2, 3)]).unwrap();
+
+        let simd = index.clone().with_backend(BackendKind::Simd);
+        assert_eq!(simd.backend_name(), "simd");
+        assert_eq!(simd.score_pairs(&[(0, 1), (2, 3)]).unwrap(), exact_scores);
+
+        let int8 = simd.with_backend(BackendKind::Int8);
+        assert_eq!(int8.backend_name(), "int8");
+        assert!(int8.approximate_top_k());
+        let bound = int8.score_error_bound();
+        assert!(bound > 0.0 && bound < 0.1, "int8 bound {bound}");
+        for (got, want) in int8.score_pairs(&[(0, 1), (2, 3)]).unwrap().iter().zip(&exact_scores) {
+            assert!((got - want).abs() <= bound, "{got} vs {want} (bound {bound})");
+        }
+        // Quantized heads are smaller even at toy dims (the ~4× ratio
+        // needs head_dim to amortize the two f32 row scales: at d = 32,
+        // 72 bytes vs 256).
+        assert!(int8.bytes_per_user() < index.bytes_per_user());
     }
 
     #[test]
@@ -490,12 +620,12 @@ mod tests {
 
     /// Many-user index with distinct head angles so rankings are
     /// nontrivial and dots collide only where calibration rounds.
-    fn wide_index(n_users: usize) -> TrustIndex {
+    fn wide_artifact(n_users: usize) -> TrustArtifact {
         let row = |i: usize| {
             let a = i as f32 * 0.37;
             vec![a.cos(), a.sin()]
         };
-        let artifact = TrustArtifact {
+        TrustArtifact {
             model: "AHNTP".to_string(),
             fingerprint: 0,
             calibration: 0.5,
@@ -505,55 +635,95 @@ mod tests {
             embeddings: vec![0.0; n_users * 2],
             trustor_head: (0..n_users).flat_map(row).collect(),
             trustee_head: (0..n_users).rev().flat_map(row).collect(),
-        };
-        TrustIndex::from_artifact(artifact).unwrap()
+        }
     }
 
     #[test]
-    fn parallel_scoring_is_bitwise_identical_to_serial() {
-        let index = wide_index(41); // ragged over every band size below
+    fn parallel_scoring_is_bitwise_identical_to_serial_for_every_backend() {
+        let artifact = wide_artifact(41); // ragged over every band size below
         let pairs: Vec<(usize, usize)> =
             (0..37).map(|i| (i % 41, (i * 7 + 3) % 41)).collect();
         let old_threshold = ahntp_par::par_threshold();
         let old_threads = ahntp_par::threads();
         ahntp_par::set_par_threshold(0); // force the parallel path
-        ahntp_par::set_threads(1);
-        let scores_serial: Vec<u32> = index
-            .score_pairs(&pairs)
-            .unwrap()
-            .iter()
-            .map(|s| s.to_bits())
-            .collect();
-        let topk_serial: Vec<Vec<(usize, u32)>> = (0..41)
-            .map(|u| {
-                index
-                    .top_k_trustees(u, 5)
-                    .unwrap()
-                    .into_iter()
-                    .map(|(v, s)| (v, s.to_bits()))
-                    .collect()
-            })
-            .collect();
-        for t in [2usize, 7] {
-            ahntp_par::set_threads(t);
-            let scores: Vec<u32> = index
+        for kind in [
+            BackendKind::Exact,
+            BackendKind::Simd,
+            BackendKind::Int8,
+            BackendKind::Ivf(crate::backend::IvfParams::default()),
+        ] {
+            let index = TrustIndex::from_artifact_with(artifact.clone(), kind).unwrap();
+            ahntp_par::set_threads(1);
+            let scores_serial: Vec<u32> = index
                 .score_pairs(&pairs)
                 .unwrap()
                 .iter()
                 .map(|s| s.to_bits())
                 .collect();
-            assert_eq!(scores_serial, scores, "score_pairs at {t} threads");
-            for (u, want) in topk_serial.iter().enumerate() {
-                let got: Vec<(usize, u32)> = index
-                    .top_k_trustees(u, 5)
+            let topk_serial: Vec<Vec<(usize, u32)>> = (0..41)
+                .map(|u| {
+                    index
+                        .top_k_trustees(u, 5)
+                        .unwrap()
+                        .into_iter()
+                        .map(|(v, s)| (v, s.to_bits()))
+                        .collect()
+                })
+                .collect();
+            for t in [2usize, 7] {
+                ahntp_par::set_threads(t);
+                let scores: Vec<u32> = index
+                    .score_pairs(&pairs)
                     .unwrap()
-                    .into_iter()
-                    .map(|(v, s)| (v, s.to_bits()))
+                    .iter()
+                    .map(|s| s.to_bits())
                     .collect();
-                assert_eq!(want, &got, "top_k_trustees({u}) at {t} threads");
+                assert_eq!(
+                    scores_serial, scores,
+                    "{} score_pairs at {t} threads",
+                    kind.name()
+                );
+                for (u, want) in topk_serial.iter().enumerate() {
+                    let got: Vec<(usize, u32)> = index
+                        .top_k_trustees(u, 5)
+                        .unwrap()
+                        .into_iter()
+                        .map(|(v, s)| (v, s.to_bits()))
+                        .collect();
+                    assert_eq!(
+                        want,
+                        &got,
+                        "{} top_k_trustees({u}) at {t} threads",
+                        kind.name()
+                    );
+                }
             }
         }
         ahntp_par::set_par_threshold(old_threshold);
         ahntp_par::set_threads(old_threads);
+    }
+
+    #[test]
+    fn simd_is_bitwise_equal_to_exact_on_a_wide_index() {
+        let artifact = wide_artifact(53);
+        let exact = TrustIndex::from_artifact_with(artifact.clone(), BackendKind::Exact).unwrap();
+        let simd = TrustIndex::from_artifact_with(artifact, BackendKind::Simd).unwrap();
+        let pairs: Vec<(usize, usize)> =
+            (0..29).map(|i| (i % 53, (i * 11 + 5) % 53)).collect();
+        let a = exact.score_pairs(&pairs).unwrap();
+        let b = simd.score_pairs(&pairs).unwrap();
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        for u in 0..53 {
+            let a = exact.top_k_trustees(u, 7).unwrap();
+            let b = simd.top_k_trustees(u, 7).unwrap();
+            assert_eq!(
+                a.iter().map(|&(v, s)| (v, s.to_bits())).collect::<Vec<_>>(),
+                b.iter().map(|&(v, s)| (v, s.to_bits())).collect::<Vec<_>>(),
+                "top_k({u})"
+            );
+        }
     }
 }

@@ -48,6 +48,20 @@
 //! under the `serve.access` target (off by default; enable with
 //! `AHNTP_LOG=serve.access=debug`).
 //!
+//! # Scoring backends
+//!
+//! *How* the index computes its dots and candidate scans is pluggable
+//! (module [`backend`]): `exact` (scalar f32 reference), `simd`
+//! (lane-unrolled kernels, bitwise-equal to exact), `int8` (quantized
+//! heads, ~4× smaller, measured error bound), and `ivf` (coarse
+//! clustering for sublinear `/topk`). Select one with the
+//! `AHNTP_BACKEND` environment variable (e.g. `AHNTP_BACKEND=ivf`, or
+//! `ivf:nlist=64,nprobe=8`), [`ServeConfig::backend`], or
+//! [`TrustIndex::from_artifact_with`]. Responses carry the active
+//! backend in their `backend` JSON field and the `X-Ahntp-Backend`
+//! header, and `/healthz` reports it alongside its memory footprint and
+//! error envelope.
+//!
 //! # Threads
 //!
 //! Scoring itself is data-parallel: once a batch or candidate scan is
@@ -73,10 +87,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod http;
 mod index;
 mod server;
 mod trace_ring;
 
+pub use backend::{BackendKind, IvfParams};
 pub use index::{ScoreError, SharedIndex, TrustIndex};
 pub use server::{serve, serve_live, ServeConfig, ServerHandle};

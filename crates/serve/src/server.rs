@@ -78,6 +78,7 @@ use ahntp_stream::{
     parse_events, EventApplier, HeadPatch, LiveTrustModel, StalenessBound, TrustEvent,
 };
 
+use crate::backend::BackendKind;
 use crate::http::{read_request, write_response, write_response_with, HttpError, Request};
 use crate::index::{ScoreError, SharedIndex, TrustIndex};
 use crate::trace_ring::{RequestTrace, Stage, TraceRing};
@@ -115,6 +116,12 @@ pub struct ServeConfig {
     /// How many recently served requests `GET /debug/traces` retains
     /// (per-request stage timings, newest last). Minimum 1.
     pub trace_ring: usize,
+    /// Scoring backend override. `None` (the default) keeps whatever the
+    /// index was built with — for [`serve`] that is the index passed in;
+    /// for [`serve_live`] the environment default
+    /// ([`BackendKind::from_env`], `AHNTP_BACKEND`). `Some(kind)` rebuilds
+    /// onto `kind` at startup.
+    pub backend: Option<BackendKind>,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +137,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(2),
             retry_after: Duration::from_secs(1),
             trace_ring: 128,
+            backend: None,
         }
     }
 }
@@ -182,6 +190,10 @@ struct RequestCtx<'a> {
     ingest: Option<&'a mpsc::Sender<IngestJob>>,
     deadline: Duration,
     retry_after: Duration,
+    /// Active scoring backend name, captured once at startup (head
+    /// patches never change the backend), echoed in the
+    /// `X-Ahntp-Backend` header and response `backend` fields.
+    backend: &'static str,
 }
 
 /// What the batcher sends back for one job: the scores plus the
@@ -456,6 +468,10 @@ impl Drop for ServerHandle {
 ///
 /// Fails when the address cannot be bound.
 pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle> {
+    let index = match config.backend {
+        Some(kind) if kind != index.backend_kind() => index.with_backend(kind),
+        _ => index,
+    };
     serve_shared(Arc::new(SharedIndex::new(index)), config, None)
 }
 
@@ -485,9 +501,10 @@ where
 {
     let (boot_tx, boot_rx) = mpsc::channel();
     let (ingest_tx, ingest_rx) = mpsc::channel::<IngestJob>();
+    let kind = config.backend.unwrap_or_else(BackendKind::from_env);
     let applier = std::thread::spawn(move || {
         let model = factory();
-        let shared = match TrustIndex::from_artifact(model.export_artifact()) {
+        let shared = match TrustIndex::from_artifact_with(model.export_artifact(), kind) {
             Ok(index) => Arc::new(SharedIndex::new(index)),
             Err(e) => {
                 let _ = boot_tx.send(Err(format!("exported artifact invalid: {e}")));
@@ -615,6 +632,19 @@ fn serve_shared(
     let queue = Arc::new(BatchQueue::new(config.queue_capacity.max(1)));
     let traces = Arc::new(TraceRing::new(config.trace_ring));
 
+    // Capture the backend surface once: the kind never changes after
+    // startup, so workers echo a `&'static str` instead of re-reading it,
+    // and the footprint/envelope gauges describe the running process.
+    let backend_name = {
+        let snapshot = index.read();
+        gauge_set("serve.backend.bytes_per_user", snapshot.bytes_per_user() as f64);
+        gauge_set(
+            "serve.backend.score_error_bound",
+            f64::from(snapshot.score_error_bound()),
+        );
+        snapshot.backend_name()
+    };
+
     let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
     let conn_rx = Arc::new(Mutex::new(conn_rx));
 
@@ -665,6 +695,7 @@ fn serve_shared(
                     ingest: ingest.as_ref(),
                     deadline,
                     retry_after,
+                    backend: backend_name,
                 };
                 if let Err(e) = handle_connection(stream, &ctx, &shutdown, read_timeout) {
                     warn!("serve", "connection dropped: {e}");
@@ -684,11 +715,12 @@ fn serve_shared(
         let snapshot = index.read();
         info!(
             "serve",
-            "serving {} users of model {:?} on {addr} with {} workers ({})",
+            "serving {} users of model {:?} on {addr} with {} workers ({}, {} backend)",
             snapshot.n_users(),
             snapshot.model(),
             config.workers.max(1),
-            if ingest_tx.is_some() { "live" } else { "frozen" }
+            if ingest_tx.is_some() { "live" } else { "frozen" },
+            backend_name
         );
     }
     Ok(ServerHandle {
@@ -734,8 +766,10 @@ fn handle_connection(
                 if resp.status >= 400 {
                     counter_add("serve.http.errors", 1);
                 }
-                let mut headers: Vec<(&str, String)> =
-                    vec![("X-Ahntp-Trace-Id", format!("{trace_id:016x}"))];
+                let mut headers: Vec<(&str, String)> = vec![
+                    ("X-Ahntp-Trace-Id", format!("{trace_id:016x}")),
+                    ("X-Ahntp-Backend", ctx.backend.to_string()),
+                ];
                 if let Some(secs) = resp.retry_after {
                     headers.push(("Retry-After", secs.to_string()));
                 }
@@ -852,6 +886,14 @@ fn route(
                     ("fingerprint", format!("{:016x}", index.fingerprint()).into()),
                     // Whether this server ingests live trust events.
                     ("live", ctx.ingest.is_some().into()),
+                    // Active scoring backend and its stated envelope.
+                    ("backend", index.backend_name().into()),
+                    ("backend_bytes_per_user", index.bytes_per_user().into()),
+                    (
+                        "backend_score_error_bound",
+                        index.score_error_bound().into(),
+                    ),
+                    ("backend_approximate_topk", index.approximate_top_k().into()),
                 ]),
             )
         }
@@ -970,10 +1012,13 @@ fn score_endpoint(
         Ok(Ok(scores)) => Response::new(
             200,
             "OK",
-            Json::obj([(
-                "scores",
-                Json::Arr(scores.into_iter().map(Json::from).collect()),
-            )]),
+            Json::obj([
+                (
+                    "scores",
+                    Json::Arr(scores.into_iter().map(Json::from).collect()),
+                ),
+                ("backend", ctx.backend.into()),
+            ]),
         ),
         Ok(Err(e)) => Response::error(400, "Bad Request", &e.to_string()),
         Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -1105,6 +1150,7 @@ fn topk_endpoint(req: &Request, index: &TrustIndex) -> Response {
                             .collect(),
                     ),
                 ),
+                ("backend", index.backend_name().into()),
             ]),
         ),
         Err(e) => Response::error(400, "Bad Request", &e.to_string()),
@@ -1380,6 +1426,7 @@ mod tests {
             ingest: None,
             deadline: Duration::from_millis(20),
             retry_after: Duration::from_secs(2),
+            backend: "exact",
         };
         let deadline0 = ahntp_telemetry::counter_get("serve.deadline_exceeded");
         let shed0 = ahntp_telemetry::counter_get("serve.shed");
@@ -1406,6 +1453,7 @@ mod tests {
             ingest: None,
             deadline: Duration::from_millis(5),
             retry_after: Duration::from_secs(1),
+            backend: "exact",
         };
         let req = Request {
             method: "GET".to_string(),
@@ -1497,6 +1545,73 @@ mod tests {
             assert!(names.iter().any(|n| n == want), "missing {want} in {names:?}");
         }
         server.shutdown();
+    }
+
+    /// Satellite: the active backend is visible on the wire — `backend`
+    /// JSON field on `/score`, `/topk`, `/healthz`, plus an
+    /// `X-Ahntp-Backend` header on every response — and
+    /// [`ServeConfig::backend`] actually switches it.
+    #[test]
+    fn responses_carry_the_active_backend() {
+        ahntp_telemetry::set_enabled(true);
+        for kind in [None, Some(BackendKind::Int8)] {
+            let server = serve(
+                toy_index(6),
+                &ServeConfig { workers: 2, backend: kind, ..ServeConfig::default() },
+            )
+            .unwrap();
+            let addr = server.addr();
+            let want = kind.unwrap_or_default().name();
+
+            let body = r#"{"pairs":[[0,1]]}"#;
+            let (status, headers, body) = exchange_with_headers(
+                addr,
+                &format!(
+                    "POST /score HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                ),
+            );
+            assert_eq!(status, 200, "{body}");
+            let header = headers
+                .iter()
+                .find(|(n, _)| n == "x-ahntp-backend")
+                .map(|(_, v)| v.as_str())
+                .expect("X-Ahntp-Backend header on every response");
+            assert_eq!(header, want);
+            let doc = parse(&body).unwrap();
+            assert_eq!(doc.get("backend").and_then(Json::as_str), Some(want), "{body}");
+
+            let (_, body) =
+                exchange(addr, "GET /topk?user=0&k=2 HTTP/1.1\r\nConnection: close\r\n\r\n");
+            let doc = parse(&body).unwrap();
+            assert_eq!(doc.get("backend").and_then(Json::as_str), Some(want), "{body}");
+
+            let (_, body) =
+                exchange(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+            let doc = parse(&body).unwrap();
+            assert_eq!(doc.get("backend").and_then(Json::as_str), Some(want), "{body}");
+            assert!(
+                doc.get("backend_bytes_per_user").and_then(Json::as_f64).unwrap_or(0.0) > 0.0,
+                "{body}"
+            );
+            let bound = doc
+                .get("backend_score_error_bound")
+                .and_then(Json::as_f64)
+                .expect("error bound in healthz");
+            if kind.is_some() {
+                assert!(bound > 0.0, "int8 must state a nonzero envelope: {body}");
+            } else {
+                assert_eq!(bound, 0.0, "{body}");
+            }
+            // The error paths carry the header too.
+            let (status, headers, _) = exchange_with_headers(
+                addr,
+                "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n",
+            );
+            assert_eq!(status, 404);
+            assert!(headers.iter().any(|(n, v)| n == "x-ahntp-backend" && v == want));
+            server.shutdown();
+        }
     }
 
     #[test]
