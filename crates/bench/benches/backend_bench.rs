@@ -90,9 +90,9 @@ fn clustered_artifact(n: usize, d: usize) -> TrustArtifact {
         n_users: n,
         emb_dim: 1,
         head_dim: d,
-        embeddings: vec![0.0; n],
-        trustor_head: heads(),
-        trustee_head: heads(),
+        embeddings: vec![0.0; n].into(),
+        trustor_head: heads().into(),
+        trustee_head: heads().into(),
     }
 }
 

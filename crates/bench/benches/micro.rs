@@ -232,9 +232,9 @@ fn bench_par_speedup(_c: &mut Criterion) {
         n_users: users,
         emb_dim: dim,
         head_dim: dim,
-        embeddings: vec![0.0; users * dim],
-        trustor_head: heads(24).as_slice().to_vec(),
-        trustee_head: heads(25).as_slice().to_vec(),
+        embeddings: vec![0.0; users * dim].into(),
+        trustor_head: heads(24).as_slice().to_vec().into(),
+        trustee_head: heads(25).as_slice().to_vec().into(),
     };
     let index = TrustIndex::from_artifact(artifact).expect("synthetic artifact is valid");
     speedup_case("topk", &format!("k=10 n={users} d={dim}"), par_threads, || {

@@ -494,9 +494,9 @@ impl Ahntp {
             n_users: head.emb.rows(),
             emb_dim: head.emb.cols(),
             head_dim: head.trustor.cols(),
-            embeddings: head.emb.clone().into_vec(),
-            trustor_head: head.trustor.normalize_rows().into_vec(),
-            trustee_head: head.trustee.normalize_rows().into_vec(),
+            embeddings: head.emb.clone().into_vec().into(),
+            trustor_head: head.trustor.normalize_rows().into_vec().into(),
+            trustee_head: head.trustee.normalize_rows().into_vec().into(),
         }
     }
 
@@ -772,9 +772,9 @@ impl LiveTrustModel for Ahntp {
             n_users: emb.rows(),
             emb_dim: emb.cols(),
             head_dim: trustor.cols(),
-            embeddings: emb.clone().into_vec(),
-            trustor_head: trustor.normalize_rows().into_vec(),
-            trustee_head: trustee.normalize_rows().into_vec(),
+            embeddings: emb.clone().into_vec().into(),
+            trustor_head: trustor.normalize_rows().into_vec().into(),
+            trustee_head: trustee.normalize_rows().into_vec().into(),
         }
     }
 }
@@ -1353,11 +1353,11 @@ mod live_tests {
         patch.check().expect("well-formed patch");
         for (k, &u) in patch.users.iter().enumerate() {
             let (ed, hd) = (patch.emb_dim, patch.head_dim);
-            artifact.embeddings[u * ed..(u + 1) * ed]
+            artifact.embeddings.to_mut()[u * ed..(u + 1) * ed]
                 .copy_from_slice(&patch.emb_rows[k * ed..(k + 1) * ed]);
-            artifact.trustor_head[u * hd..(u + 1) * hd]
+            artifact.trustor_head.to_mut()[u * hd..(u + 1) * hd]
                 .copy_from_slice(&patch.trustor_rows[k * hd..(k + 1) * hd]);
-            artifact.trustee_head[u * hd..(u + 1) * hd]
+            artifact.trustee_head.to_mut()[u * hd..(u + 1) * hd]
                 .copy_from_slice(&patch.trustee_rows[k * hd..(k + 1) * hd]);
         }
     }

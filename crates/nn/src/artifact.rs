@@ -14,11 +14,11 @@
 //!
 //! `score(u, v) = σ( ⟨trustor_head[u], trustee_head[v]⟩ / c )`
 //!
-//! # Frame layout
+//! # Frame layout, version 1 (packed)
 //!
 //! ```text
 //! magic "AHNTPSRV1" (9 bytes)
-//! u16 version (currently 1)
+//! u16 version (1)
 //! u64 architecture fingerprint (same hash as the AHNTP001 header; 0 = untagged)
 //! f32 calibration c (σ(cos/c); the trainer's COSINE_CALIBRATION)
 //! u32 model-name length, name bytes (UTF-8)
@@ -29,18 +29,53 @@
 //! u32 CRC-32 of everything above (see `frame::seal`)
 //! ```
 //!
+//! # Frame layout, version 2 (mmap-friendly)
+//!
+//! Version 2 carries the same fields but places each matrix at a 64-byte
+//! aligned offset recorded in an explicit offsets table, so a server can
+//! map the file ([`TrustArtifact::map`]) and score straight out of the
+//! page cache instead of parsing — a shard (re)start allocates nothing
+//! proportional to the index.
+//!
+//! ```text
+//! magic "AHNTPSRV1" (9 bytes)
+//! u16 version (2)
+//! u64 fingerprint, f32 calibration, model name, n_users/emb_dim/head_dim
+//!   (identical to v1)
+//! u64 emb_off, u64 trustor_off, u64 trustee_off, u64 data_end
+//!   (byte offsets from the frame start; each matrix offset is 64-byte
+//!    aligned, data_end is the end of the trustee matrix)
+//! zero padding to emb_off
+//! f32 embeddings    (at emb_off)
+//! zero padding, f32 trustor_head (at trustor_off)
+//! zero padding, f32 trustee_head (at trustee_off, ending at data_end)
+//! u32 CRC-32 of everything above (at data_end)
+//! ```
+//!
 //! All integers and floats are little-endian. The trailing CRC is verified
-//! before any field is parsed, so truncated or corrupted artifacts fail
-//! with a "checksum" error instead of being half-decoded.
+//! before any field is parsed — by [`TrustArtifact::decode`] *and* by
+//! [`TrustArtifact::map`] — so truncated or corrupted artifacts fail with
+//! a "checksum" error instead of being half-decoded (or half-mapped).
+
+use std::sync::Arc;
 
 use crate::frame::{check_seal, get_f32s, get_string, need, put_f32s, put_string, seal};
+use crate::rows::Rows;
 use ahntp_faultz::failpoint;
+use ahntp_mapped::MappedBytes;
 use bytes::{Buf, BufMut, BytesMut};
 
 const MAGIC: &[u8; 9] = b"AHNTPSRV1";
 
-/// The artifact format version this build encodes and decodes.
+/// The packed artifact format version ([`TrustArtifact::encode`]).
 pub const ARTIFACT_VERSION: u16 = 1;
+
+/// The mmap-friendly artifact format version ([`TrustArtifact::encode_v2`]).
+pub const ARTIFACT_VERSION_V2: u16 = 2;
+
+/// Alignment of every matrix section in a v2 frame. 64 bytes covers a
+/// cache line and any realistic f32 SIMD lane width.
+const V2_ALIGN: usize = 64;
 
 /// Errors from artifact decoding and validation.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,7 +97,7 @@ impl std::fmt::Display for ArtifactError {
             ArtifactError::UnsupportedVersion(v) => write!(
                 f,
                 "unsupported artifact version {v} (this build understands \
-                 {ARTIFACT_VERSION})"
+                 {ARTIFACT_VERSION} and {ARTIFACT_VERSION_V2})"
             ),
             ArtifactError::Inconsistent(m) => write!(f, "inconsistent artifact: {m}"),
         }
@@ -80,7 +115,10 @@ impl From<ahntp_faultz::Injected> for ArtifactError {
 /// A decoded (or about-to-be-encoded) serveable trust artifact.
 ///
 /// Produced by `ahntp::Ahntp::export_artifact`, consumed by
-/// `ahntp_serve::TrustIndex`. All matrices are dense row-major `f32`.
+/// `ahntp_serve::TrustIndex`. All matrices are dense row-major `f32`,
+/// stored as [`Rows`]: owned buffers after a parse, zero-copy views after
+/// a [`TrustArtifact::map`]. Mutators (live head patches) go through
+/// [`Rows::to_mut`], which copies a mapped matrix on first write.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrustArtifact {
     /// Display name of the exporting model (e.g. `"AHNTP"`).
@@ -97,11 +135,133 @@ pub struct TrustArtifact {
     /// Width of the scoring-head rows.
     pub head_dim: usize,
     /// Raw comprehensive embeddings, `n_users × emb_dim` row-major.
-    pub embeddings: Vec<f32>,
+    pub embeddings: Rows,
     /// L2-normalised trustor-side head rows, `n_users × head_dim`.
-    pub trustor_head: Vec<f32>,
+    pub trustor_head: Rows,
     /// L2-normalised trustee-side head rows, `n_users × head_dim`.
-    pub trustee_head: Vec<f32>,
+    pub trustee_head: Rows,
+}
+
+/// Parsed v2 header: field values plus the byte ranges of each matrix
+/// section, fully bounds- and alignment-checked against the frame.
+struct V2Layout {
+    model: String,
+    fingerprint: u64,
+    calibration: f32,
+    n_users: usize,
+    emb_dim: usize,
+    head_dim: usize,
+    emb_off: usize,
+    trustor_off: usize,
+    trustee_off: usize,
+}
+
+impl V2Layout {
+    /// Parses and validates a v2 frame (CRC first, then the offsets
+    /// table). On success every section range is in bounds, 64-byte
+    /// aligned, non-overlapping, and `data_end` equals the payload end.
+    fn parse(frame: &[u8]) -> Result<V2Layout, ArtifactError> {
+        let malformed = ArtifactError::Malformed;
+        let payload = check_seal(frame).map_err(malformed)?;
+        let mut data = payload;
+        need(data, MAGIC.len(), "magic").map_err(malformed)?;
+        if &data[..MAGIC.len()] != MAGIC {
+            return Err(ArtifactError::Malformed("bad magic".into()));
+        }
+        data.advance(MAGIC.len());
+        need(data, 2, "version").map_err(malformed)?;
+        let version = data.get_u16_le();
+        if version != ARTIFACT_VERSION_V2 {
+            return Err(ArtifactError::UnsupportedVersion(version));
+        }
+        need(data, 8 + 4, "header").map_err(malformed)?;
+        let fingerprint = data.get_u64_le();
+        let calibration = data.get_f32_le();
+        let model = get_string(&mut data, "model name").map_err(malformed)?;
+        need(data, 12 + 32, "dimensions and offsets table").map_err(malformed)?;
+        let n_users = data.get_u32_le() as usize;
+        let emb_dim = data.get_u32_le() as usize;
+        let head_dim = data.get_u32_le() as usize;
+        let mut offsets = [0usize; 4];
+        for slot in &mut offsets {
+            let v = data.get_u64_le();
+            *slot = usize::try_from(v).map_err(|_| {
+                ArtifactError::Malformed(format!("offsets table entry {v} overflows"))
+            })?;
+        }
+        let [emb_off, trustor_off, trustee_off, data_end] = offsets;
+        let header_len = payload.len() - data.len();
+
+        // The offsets table is attacker-facing (it aims raw views): every
+        // section must be aligned, in order, in bounds, and sized exactly
+        // for the declared dimensions.
+        let section = |name: &str, off: usize, dim: usize| -> Result<usize, ArtifactError> {
+            if off % V2_ALIGN != 0 {
+                return Err(ArtifactError::Malformed(format!(
+                    "offsets table: {name} offset {off} is not {V2_ALIGN}-byte aligned"
+                )));
+            }
+            let values = n_users.checked_mul(dim).ok_or_else(|| {
+                ArtifactError::Malformed(format!("implausible {name} dimensions"))
+            })?;
+            let bytes = values.checked_mul(4).ok_or_else(|| {
+                ArtifactError::Malformed(format!("implausible {name} dimensions"))
+            })?;
+            off.checked_add(bytes).ok_or_else(|| {
+                ArtifactError::Malformed(format!("offsets table: {name} section overflows"))
+            })
+        };
+        let emb_end = section("embeddings", emb_off, emb_dim)?;
+        let trustor_end = section("trustor head", trustor_off, head_dim)?;
+        let trustee_end = section("trustee head", trustee_off, head_dim)?;
+        if emb_off < header_len
+            || trustor_off < emb_end
+            || trustee_off < trustor_end
+            || data_end != trustee_end
+        {
+            return Err(ArtifactError::Malformed(
+                "offsets table: sections overlap or are out of order".into(),
+            ));
+        }
+        if data_end != payload.len() {
+            return Err(ArtifactError::Malformed(format!(
+                "offsets table: data_end {data_end} disagrees with payload length {}",
+                payload.len()
+            )));
+        }
+        Ok(V2Layout {
+            model,
+            fingerprint,
+            calibration,
+            n_users,
+            emb_dim,
+            head_dim,
+            emb_off,
+            trustor_off,
+            trustee_off,
+        })
+    }
+
+    fn assemble(
+        self,
+        embeddings: Rows,
+        trustor_head: Rows,
+        trustee_head: Rows,
+    ) -> Result<TrustArtifact, ArtifactError> {
+        let artifact = TrustArtifact {
+            model: self.model,
+            fingerprint: self.fingerprint,
+            calibration: self.calibration,
+            n_users: self.n_users,
+            emb_dim: self.emb_dim,
+            head_dim: self.head_dim,
+            embeddings,
+            trustor_head,
+            trustee_head,
+        };
+        artifact.validate()?;
+        Ok(artifact)
+    }
 }
 
 impl TrustArtifact {
@@ -141,7 +301,15 @@ impl TrustArtifact {
         Ok(())
     }
 
-    /// Encodes the artifact into an `AHNTPSRV1` frame.
+    /// Whether every matrix is a zero-copy mapped view (a
+    /// [`TrustArtifact::map`] product that has not been patched).
+    pub fn is_mapped(&self) -> bool {
+        self.embeddings.is_mapped()
+            && self.trustor_head.is_mapped()
+            && self.trustee_head.is_mapped()
+    }
+
+    /// Encodes the artifact as a packed v1 `AHNTPSRV1` frame.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = BytesMut::with_capacity(
             64 + self.model.len()
@@ -164,29 +332,91 @@ impl TrustArtifact {
         buf.freeze().to_vec()
     }
 
-    /// Decodes and validates an `AHNTPSRV1` frame.
+    /// Encodes the artifact as an mmap-friendly v2 frame: same fields as
+    /// [`TrustArtifact::encode`], with each matrix zero-padded out to a
+    /// 64-byte aligned offset recorded in the offsets table, so the frame
+    /// can be served zero-copy through [`TrustArtifact::map`]. Converting
+    /// between versions is lossless: `decode(encode_v2(a)) == a`.
+    pub fn encode_v2(&self) -> Vec<u8> {
+        let header_len =
+            MAGIC.len() + 2 + 8 + 4 + (4 + self.model.len()) + 12 + 32;
+        let align = |off: usize| off.div_ceil(V2_ALIGN) * V2_ALIGN;
+        let emb_off = align(header_len);
+        let trustor_off = align(emb_off + 4 * self.embeddings.len());
+        let trustee_off = align(trustor_off + 4 * self.trustor_head.len());
+        let data_end = trustee_off + 4 * self.trustee_head.len();
+        let mut buf = BytesMut::with_capacity(data_end + 4);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(ARTIFACT_VERSION_V2);
+        buf.put_u64_le(self.fingerprint);
+        buf.put_f32_le(self.calibration);
+        put_string(&mut buf, &self.model);
+        buf.put_u32_le(self.n_users as u32);
+        buf.put_u32_le(self.emb_dim as u32);
+        buf.put_u32_le(self.head_dim as u32);
+        buf.put_u64_le(emb_off as u64);
+        buf.put_u64_le(trustor_off as u64);
+        buf.put_u64_le(trustee_off as u64);
+        buf.put_u64_le(data_end as u64);
+        let pad_to = |buf: &mut BytesMut, off: usize| {
+            for _ in buf.len()..off {
+                buf.put_u8(0);
+            }
+        };
+        pad_to(&mut buf, emb_off);
+        put_f32s(&mut buf, &self.embeddings);
+        pad_to(&mut buf, trustor_off);
+        put_f32s(&mut buf, &self.trustor_head);
+        pad_to(&mut buf, trustee_off);
+        put_f32s(&mut buf, &self.trustee_head);
+        seal(&mut buf);
+        buf.freeze().to_vec()
+    }
+
+    /// Decodes and validates an `AHNTPSRV1` frame of either version into
+    /// owned matrices (the copying path; see [`TrustArtifact::map`] for
+    /// the zero-copy one).
     ///
     /// # Errors
     ///
-    /// Returns [`ArtifactError::Malformed`] on bad magic or truncation,
-    /// [`ArtifactError::UnsupportedVersion`] on an unknown version, and
-    /// [`ArtifactError::Inconsistent`] when the decoded fields disagree
-    /// with each other.
+    /// Returns [`ArtifactError::Malformed`] on bad magic, truncation, or
+    /// a corrupt v2 offsets table, [`ArtifactError::UnsupportedVersion`]
+    /// on an unknown version, and [`ArtifactError::Inconsistent`] when
+    /// the decoded fields disagree with each other.
     pub fn decode(data: &[u8]) -> Result<TrustArtifact, ArtifactError> {
         failpoint!("artifact.decode");
         let malformed = ArtifactError::Malformed;
         // Verify the trailing CRC before trusting any field.
-        let mut data = check_seal(data).map_err(malformed)?;
-        need(data, MAGIC.len(), "magic").map_err(malformed)?;
-        if &data[..MAGIC.len()] != MAGIC {
+        let payload = check_seal(data).map_err(malformed)?;
+        need(payload, MAGIC.len() + 2, "magic and version").map_err(malformed)?;
+        if &payload[..MAGIC.len()] != MAGIC {
             return Err(ArtifactError::Malformed("bad magic".into()));
         }
-        data.advance(MAGIC.len());
-        need(data, 2, "version").map_err(malformed)?;
-        let version = data.get_u16_le();
-        if version != ARTIFACT_VERSION {
-            return Err(ArtifactError::UnsupportedVersion(version));
+        let version = u16::from_le_bytes([payload[MAGIC.len()], payload[MAGIC.len() + 1]]);
+        match version {
+            ARTIFACT_VERSION => TrustArtifact::decode_v1_payload(payload),
+            ARTIFACT_VERSION_V2 => {
+                let layout = V2Layout::parse(data)?;
+                let copy = |off: usize, n: usize, what: &str| -> Result<Vec<f32>, ArtifactError> {
+                    let mut section = &payload[off..];
+                    get_f32s(&mut section, n, what).map_err(ArtifactError::Malformed)
+                };
+                let emb = copy(layout.emb_off, layout.n_users * layout.emb_dim, "embeddings")?;
+                let tor =
+                    copy(layout.trustor_off, layout.n_users * layout.head_dim, "trustor head")?;
+                let tee =
+                    copy(layout.trustee_off, layout.n_users * layout.head_dim, "trustee head")?;
+                layout.assemble(emb.into(), tor.into(), tee.into())
+            }
+            v => Err(ArtifactError::UnsupportedVersion(v)),
         }
+    }
+
+    /// The v1 field walk, starting from the sealed payload.
+    fn decode_v1_payload(payload: &[u8]) -> Result<TrustArtifact, ArtifactError> {
+        let malformed = ArtifactError::Malformed;
+        let mut data = payload;
+        data.advance(MAGIC.len() + 2); // magic + version, checked by decode
         need(data, 8 + 4, "header").map_err(malformed)?;
         let fingerprint = data.get_u64_le();
         let calibration = data.get_f32_le();
@@ -214,12 +444,63 @@ impl TrustArtifact {
             n_users,
             emb_dim,
             head_dim,
-            embeddings,
-            trustor_head,
-            trustee_head,
+            embeddings: embeddings.into(),
+            trustor_head: trustor_head.into(),
+            trustee_head: trustee_head.into(),
         };
         artifact.validate()?;
         Ok(artifact)
+    }
+
+    /// Builds an artifact whose matrices are zero-copy views into
+    /// `bytes` — the O(1)-allocation load path for v2 frames. The CRC
+    /// seal and the whole offsets table are verified up front (the CRC
+    /// pass streams the file through the page cache but allocates
+    /// nothing), and validation runs as for a decode, so a torn or
+    /// tampered frame fails with the same typed errors.
+    ///
+    /// A v1 frame (no aligned sections to view) transparently falls back
+    /// to the copying [`TrustArtifact::decode`], as does a platform where
+    /// zero-copy views are unavailable (big-endian); either way the
+    /// caller gets a valid artifact.
+    ///
+    /// # Errors
+    ///
+    /// As [`TrustArtifact::decode`].
+    pub fn map(bytes: Arc<MappedBytes>) -> Result<TrustArtifact, ArtifactError> {
+        failpoint!("artifact.map");
+        let layout = match V2Layout::parse(&bytes) {
+            Ok(layout) => layout,
+            // v1 frames can't be mapped; decode them instead.
+            Err(ArtifactError::UnsupportedVersion(ARTIFACT_VERSION)) => {
+                return TrustArtifact::decode(&bytes);
+            }
+            Err(e) => return Err(e),
+        };
+        let view = |off: usize, n: usize| Rows::mapped(Arc::clone(&bytes), off, n);
+        let views = (
+            view(layout.emb_off, layout.n_users * layout.emb_dim),
+            view(layout.trustor_off, layout.n_users * layout.head_dim),
+            view(layout.trustee_off, layout.n_users * layout.head_dim),
+        );
+        match views {
+            (Some(emb), Some(tor), Some(tee)) => layout.assemble(emb, tor, tee),
+            // Views refused (big-endian target): decode the same bytes.
+            _ => TrustArtifact::decode(&bytes),
+        }
+    }
+
+    /// Opens an artifact file zero-copy: `mmap` + [`TrustArtifact::map`].
+    /// v2 frames score straight out of the mapping; v1 frames are parsed.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from opening or mapping the file; decode errors are
+    /// wrapped as [`std::io::ErrorKind::InvalidData`].
+    pub fn open<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<TrustArtifact> {
+        let bytes = Arc::new(MappedBytes::open(path)?);
+        TrustArtifact::map(bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -244,9 +525,9 @@ mod tests {
             n_users: 2,
             emb_dim: 3,
             head_dim: 2,
-            embeddings: vec![0.1, 0.2, 0.3, -0.4, 0.5, -0.6],
-            trustor_head: vec![1.0, 0.0, 0.6, 0.8],
-            trustee_head: vec![0.0, 1.0, 0.8, -0.6],
+            embeddings: vec![0.1, 0.2, 0.3, -0.4, 0.5, -0.6].into(),
+            trustor_head: vec![1.0, 0.0, 0.6, 0.8].into(),
+            trustee_head: vec![0.0, 1.0, 0.8, -0.6].into(),
         }
     }
 
@@ -257,6 +538,89 @@ mod tests {
         assert_eq!(&bytes[..9], b"AHNTPSRV1");
         let b = TrustArtifact::decode(&bytes).expect("well-formed frame");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn encode_v2_decode_round_trips_and_sections_are_aligned() {
+        let a = tiny();
+        let bytes = a.encode_v2();
+        assert_eq!(&bytes[..9], b"AHNTPSRV1");
+        assert_eq!(u16::from_le_bytes([bytes[9], bytes[10]]), 2);
+        let b = TrustArtifact::decode(&bytes).expect("well-formed v2 frame");
+        assert_eq!(a, b);
+        // v1 → v2 conversion is lossless through the struct.
+        let via_v1 = TrustArtifact::decode(&a.encode()).unwrap();
+        assert_eq!(TrustArtifact::decode(&via_v1.encode_v2()).unwrap(), a);
+    }
+
+    #[test]
+    fn mapped_artifacts_score_the_same_bits_as_decoded_ones() {
+        let a = tiny();
+        let bytes = a.encode_v2();
+        let mapped =
+            TrustArtifact::map(Arc::new(MappedBytes::from_bytes(&bytes))).expect("mappable");
+        assert!(mapped.is_mapped());
+        assert_eq!(mapped, a);
+        for (x, y) in mapped.trustor_head.iter().zip(a.trustor_head.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Mapping a v1 frame falls back to a parse: same artifact, owned.
+        let v1 = TrustArtifact::map(Arc::new(MappedBytes::from_bytes(&a.encode()))).unwrap();
+        assert!(!v1.is_mapped());
+        assert_eq!(v1, a);
+    }
+
+    #[test]
+    fn mapped_artifacts_copy_on_write() {
+        let bytes = tiny().encode_v2();
+        let mut mapped =
+            TrustArtifact::map(Arc::new(MappedBytes::from_bytes(&bytes))).unwrap();
+        mapped.trustor_head.to_mut()[0] = 0.0;
+        assert!(!mapped.trustor_head.is_mapped());
+        assert!(mapped.trustee_head.is_mapped(), "untouched matrices stay mapped");
+        assert_eq!(mapped.trustor_head[0], 0.0);
+    }
+
+    #[test]
+    fn corrupt_v2_offsets_tables_are_typed_errors() {
+        let good = tiny().encode_v2();
+        // The offsets table sits right after the dimensions. Find it by
+        // construction: magic(9) + ver(2) + fp(8) + cal(4) + name(4+5) +
+        // dims(12) = 44.
+        let table = 44;
+        for (tweak, what) in [(1u8, "misalign"), (0xff, "out of range")] {
+            let mut bad = good.clone();
+            bad[table] ^= tweak;
+            reseal(&mut bad);
+            match TrustArtifact::decode(&bad) {
+                Err(ArtifactError::Malformed(m)) => {
+                    assert!(m.contains("offsets") || m.contains("truncated"), "{what}: {m}")
+                }
+                other => panic!("{what}: expected Malformed, got {other:?}"),
+            }
+            assert!(
+                TrustArtifact::map(Arc::new(MappedBytes::from_bytes(&bad))).is_err(),
+                "{what}: map must refuse what decode refuses"
+            );
+        }
+        // Without a reseal the CRC catches the flip first.
+        let mut torn = good;
+        torn[table] ^= 1;
+        assert!(matches!(
+            TrustArtifact::decode(&torn),
+            Err(ArtifactError::Malformed(m)) if m.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn truncated_v2_frames_fail_the_seal_at_map_time() {
+        let bytes = tiny().encode_v2();
+        for cut in [1usize, 4, 64, bytes.len() / 2] {
+            let torn = &bytes[..bytes.len() - cut];
+            let err = TrustArtifact::map(Arc::new(MappedBytes::from_bytes(torn)))
+                .expect_err("torn frame refused");
+            assert!(matches!(err, ArtifactError::Malformed(_)), "cut {cut}: {err:?}");
+        }
     }
 
     #[test]
@@ -305,12 +669,21 @@ mod tests {
             TrustArtifact::decode(&inner),
             Err(ArtifactError::Malformed(m)) if m.contains("trailing")
         ));
+        // The v2 equivalent: data_end stops matching the payload length.
+        let mut v2 = tiny().encode_v2();
+        let split = v2.len() - 4;
+        v2.insert(split, 0);
+        reseal(&mut v2);
+        assert!(matches!(
+            TrustArtifact::decode(&v2),
+            Err(ArtifactError::Malformed(m)) if m.contains("data_end")
+        ));
     }
 
     #[test]
     fn validation_catches_inconsistencies() {
         let mut a = tiny();
-        a.trustor_head.pop();
+        a.trustor_head.to_mut().pop();
         assert!(matches!(
             a.validate(),
             Err(ArtifactError::Inconsistent(m)) if m.contains("trustor_head")
@@ -319,7 +692,7 @@ mod tests {
         b.calibration = 0.0;
         assert!(b.validate().is_err());
         let mut c = tiny();
-        c.embeddings[0] = f32::NAN;
+        c.embeddings.to_mut()[0] = f32::NAN;
         assert!(matches!(
             c.validate(),
             Err(ArtifactError::Inconsistent(m)) if m.contains("non-finite")

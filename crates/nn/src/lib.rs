@@ -37,10 +37,15 @@ mod linear;
 pub mod loss;
 mod optim;
 mod param;
+mod rows;
 mod serialize;
 mod train_state;
 
-pub use artifact::{ArtifactError, TrustArtifact, ARTIFACT_VERSION};
+pub use artifact::{ArtifactError, TrustArtifact, ARTIFACT_VERSION, ARTIFACT_VERSION_V2};
+pub use rows::Rows;
+// Re-exported so downstream crates can open mapped artifacts without a
+// direct ahntp-mapped dependency.
+pub use ahntp_mapped::MappedBytes;
 pub use conv::{AdaptiveHypergraphConv, HypergraphConv};
 pub use gnn::{gcn_norm_adjacency, sgc_features, GatConv, GcnConv};
 pub use linear::{Linear, Mlp};

@@ -1,0 +1,167 @@
+//! Copy-on-write storage for artifact matrices: owned or memory-mapped.
+//!
+//! A [`Rows`] is a flat row-major `f32` matrix that is either an owned
+//! `Vec<f32>` (the classic decode path) or a zero-copy view into a
+//! [`MappedBytes`] buffer (the v2 mmap path, see
+//! [`crate::artifact::TrustArtifact::map`]). Readers see `&[f32]` through
+//! `Deref` either way, so the entire scoring stack is storage-agnostic;
+//! writers call [`Rows::to_mut`], which transparently converts a mapped
+//! matrix into an owned copy on first mutation — live-trust head patches
+//! keep working against a mapped artifact, paying the copy only for the
+//! matrices they actually touch.
+
+use std::sync::Arc;
+
+use ahntp_mapped::MappedBytes;
+
+#[derive(Clone)]
+enum Repr {
+    Owned(Vec<f32>),
+    /// A validated `f32` view into `bytes` at `byte_off`, `n` values
+    /// long. Cloning clones the `Arc`, not the floats.
+    Mapped {
+        bytes: Arc<MappedBytes>,
+        byte_off: usize,
+        n: usize,
+    },
+}
+
+/// A flat `f32` matrix that is either owned or a zero-copy mapped view.
+#[derive(Clone)]
+pub struct Rows(Repr);
+
+impl Rows {
+    /// Wraps a zero-copy view of `n` floats at `byte_off` into `bytes`.
+    /// Returns `None` when the view is out of bounds, misaligned, or the
+    /// target is big-endian — callers fall back to a parsing decode.
+    pub fn mapped(bytes: Arc<MappedBytes>, byte_off: usize, n: usize) -> Option<Rows> {
+        // Validate once here so `Deref` can rely on the view existing.
+        bytes.f32s(byte_off, n)?;
+        Some(Rows(Repr::Mapped { bytes, byte_off, n }))
+    }
+
+    /// Whether this matrix is a zero-copy mapped view (as opposed to an
+    /// owned buffer).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.0, Repr::Mapped { .. })
+    }
+
+    /// Mutable access, copying a mapped view into an owned buffer first
+    /// (copy-on-write). Subsequent calls are free.
+    pub fn to_mut(&mut self) -> &mut Vec<f32> {
+        if let Repr::Mapped { .. } = self.0 {
+            self.0 = Repr::Owned(self.as_slice().to_vec());
+        }
+        match &mut self.0 {
+            Repr::Owned(v) => v,
+            Repr::Mapped { .. } => unreachable!("converted to owned above"),
+        }
+    }
+
+    /// Consumes into an owned `Vec<f32>`, copying only if mapped.
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(self.to_mut())
+    }
+
+    fn as_slice(&self) -> &[f32] {
+        match &self.0 {
+            Repr::Owned(v) => v,
+            Repr::Mapped { bytes, byte_off, n } => bytes
+                .f32s(*byte_off, *n)
+                .expect("view validated by Rows::mapped"),
+        }
+    }
+}
+
+impl std::ops::Deref for Rows {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<f32>> for Rows {
+    fn from(v: Vec<f32>) -> Rows {
+        Rows(Repr::Owned(v))
+    }
+}
+
+impl FromIterator<f32> for Rows {
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Rows {
+        Rows(Repr::Owned(iter.into_iter().collect()))
+    }
+}
+
+impl Default for Rows {
+    fn default() -> Rows {
+        Rows(Repr::Owned(Vec::new()))
+    }
+}
+
+impl PartialEq for Rows {
+    fn eq(&self, other: &Rows) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Rows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Matrices are up to millions of floats; Debug summarizes instead
+        // of dumping them.
+        let storage = if self.is_mapped() { "mapped" } else { "owned" };
+        write!(f, "Rows({storage}, {} values)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapped_rows(values: &[f32]) -> Rows {
+        let mut bytes = Vec::new();
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let m = Arc::new(MappedBytes::from_bytes(&bytes));
+        Rows::mapped(m, 0, values.len()).expect("aligned view")
+    }
+
+    #[test]
+    fn owned_and_mapped_rows_compare_equal_by_contents() {
+        let values = [1.0f32, -2.5, 0.25];
+        let owned: Rows = values.to_vec().into();
+        let mapped = mapped_rows(&values);
+        assert!(!owned.is_mapped());
+        assert!(mapped.is_mapped());
+        assert_eq!(owned, mapped);
+        assert_eq!(&owned[1..], &mapped[1..]);
+    }
+
+    #[test]
+    fn to_mut_copies_on_write_and_detaches_from_the_mapping() {
+        let mut rows = mapped_rows(&[1.0, 2.0]);
+        let clone = rows.clone();
+        rows.to_mut()[0] = 9.0;
+        assert!(!rows.is_mapped(), "first write converts to owned");
+        assert_eq!(rows[0], 9.0);
+        assert_eq!(clone[0], 1.0, "the mapped clone is untouched");
+        assert!(clone.is_mapped());
+    }
+
+    #[test]
+    fn out_of_bounds_views_are_refused() {
+        let m = Arc::new(MappedBytes::from_bytes(&[0u8; 8]));
+        assert!(Rows::mapped(Arc::clone(&m), 0, 2).is_some());
+        assert!(Rows::mapped(Arc::clone(&m), 0, 3).is_none());
+        assert!(Rows::mapped(m, 1, 1).is_none(), "misaligned");
+    }
+
+    #[test]
+    fn into_vec_round_trips() {
+        let rows = mapped_rows(&[3.0, 4.0]);
+        assert_eq!(rows.into_vec(), vec![3.0, 4.0]);
+        let owned: Rows = vec![5.0].into();
+        assert_eq!(owned.into_vec(), vec![5.0]);
+    }
+}

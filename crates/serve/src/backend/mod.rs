@@ -267,14 +267,35 @@ pub(crate) fn banded_top_k<F>(
 where
     F: Fn(usize, usize) -> Vec<Ranked> + Sync,
 {
-    let n = artifact.n_users;
+    banded_range_top_k(artifact, k, 0, artifact.n_users, par_counter, band_fn)
+}
+
+/// [`banded_top_k`] over the candidate id sub-range `lo..hi` — the
+/// shard-local scan. Candidate ids stay **global** throughout: bands are
+/// offset by `lo`, `band_fn` receives absolute `(c0, c1)` bounds, and the
+/// returned [`Ranked`] entries carry absolute user ids, so a scatter-
+/// gather merge never translates ids. Per-candidate arithmetic is
+/// banding-invariant, so the range result is bitwise identical at any
+/// thread count and any band placement.
+pub(crate) fn banded_range_top_k<F>(
+    artifact: &TrustArtifact,
+    k: usize,
+    lo: usize,
+    hi: usize,
+    par_counter: &str,
+    band_fn: F,
+) -> Vec<Ranked>
+where
+    F: Fn(usize, usize) -> Vec<Ranked> + Sync,
+{
+    let n = hi.saturating_sub(lo);
     if ahntp_par::par_enabled(2 * n * artifact.head_dim) && n >= 2 {
         counter_add(par_counter, 1);
         let band = ahntp_par::band_size(n);
         let n_bands = n.div_ceil(band);
         let mut merged: Vec<Ranked> = ahntp_par::par_map(n_bands, |bi| {
-            let c0 = bi * band;
-            band_fn(c0, (c0 + band).min(n))
+            let c0 = lo + bi * band;
+            band_fn(c0, (c0 + band).min(hi))
         })
         .into_iter()
         .flatten()
@@ -283,8 +304,26 @@ where
         merged.truncate(k);
         merged
     } else {
-        band_fn(0, n)
+        band_fn(lo, hi)
     }
+}
+
+/// Exact scalar top-k over the candidate id range `lo..hi` (excluding
+/// `trustor`). This is the shard-local `/topk` scan: it always runs the
+/// reference scalar arithmetic *regardless of the index's configured
+/// backend*, so merging per-shard results under the [`Ranked`] total
+/// order reproduces the single-node exact scan bitwise — the invariant
+/// the shard-exactness tier asserts.
+pub(crate) fn exact_top_k_in(
+    artifact: &TrustArtifact,
+    trustor: usize,
+    k: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<Ranked> {
+    banded_range_top_k(artifact, k, lo, hi, "serve.topk.range.par_calls", |c0, c1| {
+        exact::scalar_band_top_k(artifact, trustor, k, c0, c1)
+    })
 }
 
 #[cfg(test)]

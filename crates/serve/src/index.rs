@@ -154,6 +154,45 @@ impl TrustIndex {
         TrustIndex::from_artifact(TrustArtifact::decode(bytes)?)
     }
 
+    /// Opens an artifact file and builds the index, zero-copy when
+    /// possible: a v2 frame is memory-mapped and its matrices become
+    /// borrowed views ([`TrustArtifact::open`]), so a shard (re)start
+    /// costs O(header + CRC) instead of O(matrix copy). v1 frames and
+    /// platforms without the fast path fall back to a parsing decode —
+    /// same index either way.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the filesystem; corrupt or unsupported frames
+    /// (failed CRC seal, torn offsets table) surface as
+    /// [`std::io::ErrorKind::InvalidData`] — a typed error, never a
+    /// panic, which is what the chaos tier asserts for torn artifacts.
+    pub fn open<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<TrustIndex> {
+        TrustIndex::open_with(path, BackendKind::from_env())
+    }
+
+    /// [`TrustIndex::open`] with an explicit scoring backend (the
+    /// `/admin/swap` path uses this to rebuild a freshly mapped snapshot
+    /// onto the serving backend).
+    ///
+    /// # Errors
+    ///
+    /// As [`TrustIndex::open`].
+    pub fn open_with<P: AsRef<std::path::Path>>(
+        path: P,
+        kind: BackendKind,
+    ) -> std::io::Result<TrustIndex> {
+        let artifact = TrustArtifact::open(path)?;
+        TrustIndex::from_artifact_with(artifact, kind)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Whether the artifact matrices are zero-copy mapped views (true
+    /// until the first live head patch copies a matrix).
+    pub fn is_mapped(&self) -> bool {
+        self.artifact.is_mapped()
+    }
+
     /// Rebuilds this index on a different scoring backend. Derived state
     /// (quantized matrices, posting lists) is reconstructed from the
     /// artifact, so the swap is deterministic.
@@ -193,6 +232,16 @@ impl TrustIndex {
     /// Number of users the index can score.
     pub fn n_users(&self) -> usize {
         self.artifact.n_users
+    }
+
+    /// Embedding dimension of the exported model.
+    pub fn emb_dim(&self) -> usize {
+        self.artifact.emb_dim
+    }
+
+    /// Head dimension (the per-pair dot length).
+    pub fn head_dim(&self) -> usize {
+        self.artifact.head_dim
     }
 
     /// Name of the exporting model (e.g. `"AHNTP"`).
@@ -306,6 +355,53 @@ impl TrustIndex {
         Ok(out)
     }
 
+    /// [`TrustIndex::top_k_trustees`] restricted to the candidate id
+    /// range `lo..hi` — the shard-local `/topk` scan. Candidate ids are
+    /// **global** user ids throughout (the range selects, it does not
+    /// re-base), so a scatter-gather front merges per-shard results
+    /// without any id translation. The scan always runs the reference
+    /// exact scalar arithmetic regardless of this index's configured
+    /// backend, so the union of disjoint ranges covering `0..n`, merged
+    /// under (score desc, id asc) and truncated to `k`, is bitwise
+    /// identical to the single-node exact `top_k_trustees`.
+    ///
+    /// `hi` is clamped to `n_users`; an empty or inverted range returns
+    /// no candidates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScoreError::UserOutOfRange`] for an unknown trustor
+    /// (the *trustor* need not lie in `lo..hi` — any shard can rank for
+    /// any trustor; the range restricts candidates only).
+    pub fn top_k_trustees_in(
+        &self,
+        trustor: usize,
+        k: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<(usize, f32)>, ScoreError> {
+        let _k = ahntp_telemetry::KernelSpan::enter(
+            "serve.topk.range",
+            ahntp_telemetry::KernelKind::Score,
+        );
+        counter_add("serve.topk.range.calls", 1);
+        self.check(trustor)?;
+        let hi = hi.min(self.artifact.n_users);
+        if lo >= hi {
+            return Ok(Vec::new());
+        }
+        let ranked = crate::backend::exact_top_k_in(&self.artifact, trustor, k, lo, hi);
+        let mut out: Vec<(usize, f32)> = ranked
+            .into_iter()
+            .map(|r| (r.user, self.calibrated(r.score)))
+            .collect();
+        // Same final sort as `top_k_trustees`: the documented
+        // (score desc, id asc) tie-break, applied per shard *and* again
+        // at the merge, keeps ties across shard boundaries well-defined.
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(out)
+    }
+
     /// Patches refreshed head rows from a live model into the index in
     /// place. Rows arrive already L2-normalised (the export invariant),
     /// so scoring stays one dot product per pair. The backend re-derives
@@ -336,12 +432,15 @@ impl TrustIndex {
             ));
         }
         let (ed, hd) = (patch.emb_dim, patch.head_dim);
+        // `to_mut` copies a zero-copy mapped matrix on first write: a
+        // freshly mapped shard pays for exactly the matrices live patches
+        // touch, never for the whole artifact.
         for (k, &u) in patch.users.iter().enumerate() {
-            self.artifact.embeddings[u * ed..(u + 1) * ed]
+            self.artifact.embeddings.to_mut()[u * ed..(u + 1) * ed]
                 .copy_from_slice(&patch.emb_rows[k * ed..(k + 1) * ed]);
-            self.artifact.trustor_head[u * hd..(u + 1) * hd]
+            self.artifact.trustor_head.to_mut()[u * hd..(u + 1) * hd]
                 .copy_from_slice(&patch.trustor_rows[k * hd..(k + 1) * hd]);
-            self.artifact.trustee_head[u * hd..(u + 1) * hd]
+            self.artifact.trustee_head.to_mut()[u * hd..(u + 1) * hd]
                 .copy_from_slice(&patch.trustee_rows[k * hd..(k + 1) * hd]);
         }
         self.backend.on_patch(&self.artifact, &patch.users);
@@ -349,6 +448,47 @@ impl TrustIndex {
         Ok(())
     }
 }
+
+/// Why [`SharedIndex::swap`] refused a candidate snapshot. Refusals leave
+/// the currently-served index untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwapError {
+    /// The offered snapshot's architecture fingerprint disagrees with the
+    /// serving one — it was exported by a different model lineage and
+    /// would silently change scoring semantics.
+    FingerprintMismatch {
+        /// Fingerprint of the index currently serving.
+        current: u64,
+        /// Fingerprint of the refused snapshot.
+        offered: u64,
+    },
+    /// The offered snapshot's shape (`n_users`, `emb_dim`, `head_dim`)
+    /// disagrees with the serving one — shard ranges and batched requests
+    /// are sized against the current shape.
+    ShapeMismatch {
+        /// `(n_users, emb_dim, head_dim)` currently serving.
+        current: (usize, usize, usize),
+        /// `(n_users, emb_dim, head_dim)` of the refused snapshot.
+        offered: (usize, usize, usize),
+    },
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::FingerprintMismatch { current, offered } => write!(
+                f,
+                "snapshot fingerprint {offered:#018x} does not match serving fingerprint {current:#018x}"
+            ),
+            SwapError::ShapeMismatch { current, offered } => write!(
+                f,
+                "snapshot shape {offered:?} does not match serving shape {current:?} (n_users, emb_dim, head_dim)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
 
 /// A [`TrustIndex`] behind a reader-writer lock: request workers and the
 /// batcher score under read locks while the live-event applier patches
@@ -380,6 +520,39 @@ impl SharedIndex {
     pub fn apply_head_patch(&self, patch: &HeadPatch) -> Result<(), String> {
         self.inner.write().expect("index lock poisoned").apply_head_patch(patch)
     }
+
+    /// Atomically replaces the served index with a fully-built snapshot.
+    ///
+    /// The hot-swap discipline: callers build (decode/map + validate +
+    /// backend construction) `new` **before** calling, so the write lock
+    /// is held only for two compatibility checks and a pointer-sized
+    /// move. In-flight requests holding read guards finish against the
+    /// old index; requests arriving after the lock drops see the new one
+    /// — no request ever observes a half-swapped state, and a crash
+    /// before this call leaves the old snapshot serving untouched.
+    ///
+    /// # Errors
+    ///
+    /// Refuses (and leaves the current index serving) when the offered
+    /// snapshot's fingerprint or shape disagrees with the serving one —
+    /// see [`SwapError`].
+    pub fn swap(&self, new: TrustIndex) -> Result<(), SwapError> {
+        let mut guard = self.inner.write().expect("index lock poisoned");
+        if guard.fingerprint() != new.fingerprint() {
+            return Err(SwapError::FingerprintMismatch {
+                current: guard.fingerprint(),
+                offered: new.fingerprint(),
+            });
+        }
+        let current = (guard.n_users(), guard.emb_dim(), guard.head_dim());
+        let offered = (new.n_users(), new.emb_dim(), new.head_dim());
+        if current != offered {
+            return Err(SwapError::ShapeMismatch { current, offered });
+        }
+        *guard = new;
+        counter_add("serve.index.swaps", 1);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -396,11 +569,11 @@ mod tests {
             n_users: 4,
             emb_dim: 2,
             head_dim: 2,
-            embeddings: vec![0.0; 8],
+            embeddings: vec![0.0; 8].into(),
             // Trustor rows: all point along +x.
-            trustor_head: vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0],
+            trustor_head: vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0].into(),
             // Trustee rows at distinct angles: cos = 1, 0.6, 0, -1.
-            trustee_head: vec![1.0, 0.0, 0.6, 0.8, 0.0, 1.0, -1.0, 0.0],
+            trustee_head: vec![1.0, 0.0, 0.6, 0.8, 0.0, 1.0, -1.0, 0.0].into(),
         };
         TrustIndex::from_artifact_with(artifact, BackendKind::Exact).unwrap()
     }
@@ -473,8 +646,8 @@ mod tests {
             n_users: 5,
             emb_dim: 2,
             head_dim: 2,
-            embeddings: vec![0.0; 10],
-            trustor_head: [1.0, 0.0].repeat(5),
+            embeddings: vec![0.0; 10].into(),
+            trustor_head: [1.0, 0.0].repeat(5).into(),
             trustee_head: [
                 &tied[..],
                 &tied[..],
@@ -482,7 +655,8 @@ mod tests {
                 &[1.0, 0.0][..],
                 &tied[..],
             ]
-            .concat(),
+            .concat()
+            .into(),
         };
         for kind in [
             BackendKind::Exact,
@@ -618,6 +792,94 @@ mod tests {
         assert!(after > before, "{after} vs {before}");
     }
 
+    #[test]
+    fn range_top_k_unions_reproduce_the_full_scan() {
+        let artifact = wide_artifact(23);
+        let index =
+            TrustIndex::from_artifact_with(artifact, BackendKind::Exact).unwrap();
+        for trustor in [0usize, 7, 22] {
+            for k in [1usize, 5, 23] {
+                let want = index.top_k_trustees(trustor, k).unwrap();
+                // Split 0..23 unevenly, merge per-range results under the
+                // documented tie-break, truncate — must match bitwise.
+                let mut merged: Vec<(usize, f32)> = Vec::new();
+                for (lo, hi) in [(0usize, 9usize), (9, 10), (10, 23)] {
+                    merged.extend(index.top_k_trustees_in(trustor, k, lo, hi).unwrap());
+                }
+                merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                merged.truncate(k);
+                let got: Vec<(usize, u32)> =
+                    merged.into_iter().map(|(u, s)| (u, s.to_bits())).collect();
+                let want: Vec<(usize, u32)> =
+                    want.into_iter().map(|(u, s)| (u, s.to_bits())).collect();
+                assert_eq!(want, got, "trustor {trustor}, k {k}");
+            }
+        }
+        // Ranges clamp and empty ranges are empty, not errors.
+        assert!(index.top_k_trustees_in(0, 3, 23, 23).unwrap().is_empty());
+        assert!(index.top_k_trustees_in(0, 3, 9, 4).unwrap().is_empty());
+        assert_eq!(
+            index.top_k_trustees_in(0, 3, 20, 99).unwrap(),
+            index.top_k_trustees_in(0, 3, 20, 23).unwrap()
+        );
+        // The trustor itself may lie outside the candidate range.
+        assert!(index.top_k_trustees_in(0, 3, 5, 9).is_ok());
+        assert!(index.top_k_trustees_in(99, 3, 0, 23).is_err());
+    }
+
+    #[test]
+    fn swap_replaces_compatible_snapshots_and_refuses_mismatches() {
+        let shared = SharedIndex::new(toy_index());
+        let before = shared.read().score(0, 1).unwrap();
+
+        // A compatible snapshot (same fingerprint and shape) swaps in.
+        let mut replacement = toy_index();
+        let patch = HeadPatch {
+            users: vec![1],
+            emb_dim: 2,
+            head_dim: 2,
+            emb_rows: vec![0.0, 0.0],
+            trustor_rows: vec![1.0, 0.0],
+            trustee_rows: vec![1.0, 0.0], // trustee 1: cos 0.6 → 1.0
+        };
+        replacement.apply_head_patch(&patch).unwrap();
+        shared.swap(replacement).unwrap();
+        assert!(shared.read().score(0, 1).unwrap() > before);
+
+        // A fingerprint mismatch is refused and the served index is
+        // untouched.
+        let mut artifact = TrustArtifact {
+            model: "AHNTP".to_string(),
+            fingerprint: 0xbad,
+            calibration: 0.5,
+            n_users: 4,
+            emb_dim: 2,
+            head_dim: 2,
+            embeddings: vec![0.0; 8].into(),
+            trustor_head: [1.0, 0.0].repeat(4).into(),
+            trustee_head: [0.0, 1.0].repeat(4).into(),
+        };
+        let stranger =
+            TrustIndex::from_artifact_with(artifact.clone(), BackendKind::Exact).unwrap();
+        let err = shared.swap(stranger).unwrap_err();
+        assert!(
+            matches!(err, SwapError::FingerprintMismatch { offered: 0xbad, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+
+        // Same fingerprint, different shape: also refused.
+        artifact.fingerprint = 0;
+        artifact.n_users = 3;
+        artifact.embeddings = vec![0.0; 6].into();
+        artifact.trustor_head = [1.0, 0.0].repeat(3).into();
+        artifact.trustee_head = [0.0, 1.0].repeat(3).into();
+        let shrunk = TrustIndex::from_artifact_with(artifact, BackendKind::Exact).unwrap();
+        let err = shared.swap(shrunk).unwrap_err();
+        assert!(matches!(err, SwapError::ShapeMismatch { .. }), "{err}");
+        assert_eq!(shared.read().n_users(), 4, "refusals leave the index serving");
+    }
+
     /// Many-user index with distinct head angles so rankings are
     /// nontrivial and dots collide only where calibration rounds.
     fn wide_artifact(n_users: usize) -> TrustArtifact {
@@ -632,7 +894,7 @@ mod tests {
             n_users,
             emb_dim: 2,
             head_dim: 2,
-            embeddings: vec![0.0; n_users * 2],
+            embeddings: vec![0.0; n_users * 2].into(),
             trustor_head: (0..n_users).flat_map(row).collect(),
             trustee_head: (0..n_users).rev().flat_map(row).collect(),
         }

@@ -26,6 +26,17 @@
 //!   throughout. The `ahntp_stream::StalenessBound` decides how much
 //!   staleness may accumulate between refreshes; the default refreshes
 //!   after every event, keeping the index exact.
+//! * [`serve_sharded`] — a scatter-gather front tier over shard servers
+//!   that each own a contiguous trustee id range
+//!   ([`ServeConfig::shard_range`]): `/score` requests are re-grouped by
+//!   owning shard, `/topk` fans out to every shard and merges the
+//!   per-shard heaps under the documented (score desc, id asc) order —
+//!   bitwise identical to the single-node exact scan. `POST /admin/swap`
+//!   (on shards and the front) hot-swaps a new artifact snapshot behind
+//!   the [`SharedIndex`] write lock with zero dropped requests, refusing
+//!   fingerprint or shape mismatches with `409`; v2 artifacts load
+//!   zero-copy ([`TrustIndex::open`]), so a shard (re)start maps instead
+//!   of parsing.
 //!
 //! Request latency (`serve.request.us`), batch sizes
 //! (`serve.score.batch_size`), queue depth (`serve.queue.depth`) and
@@ -91,8 +102,10 @@ pub mod backend;
 pub mod http;
 mod index;
 mod server;
+mod shard;
 mod trace_ring;
 
 pub use backend::{BackendKind, IvfParams};
-pub use index::{ScoreError, SharedIndex, TrustIndex};
+pub use index::{ScoreError, SharedIndex, SwapError, TrustIndex};
 pub use server::{serve, serve_live, ServeConfig, ServerHandle};
+pub use shard::{serve_sharded, shard_ranges, ShardInfo, ShardedHandle};

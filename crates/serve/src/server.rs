@@ -122,6 +122,15 @@ pub struct ServeConfig {
     /// ([`BackendKind::from_env`], `AHNTP_BACKEND`). `Some(kind)` rebuilds
     /// onto `kind` at startup.
     pub backend: Option<BackendKind>,
+    /// The contiguous trustee id range `[lo, hi)` this server owns as a
+    /// shard of a scatter-gather cluster. `None` (the default) serves the
+    /// whole id space. A shard still maps the *full* artifact — `/score`
+    /// answers any pair — but its `/topk` scans only the owned range
+    /// (always with the exact scalar arithmetic), so a front tier can
+    /// merge per-shard results into the single-node exact answer
+    /// bitwise. The range is advertised as `shard_lo`/`shard_hi` in
+    /// `/healthz` for front-tier discovery.
+    pub shard_range: Option<(usize, usize)>,
 }
 
 impl Default for ServeConfig {
@@ -138,6 +147,7 @@ impl Default for ServeConfig {
             retry_after: Duration::from_secs(1),
             trace_ring: 128,
             backend: None,
+            shard_range: None,
         }
     }
 }
@@ -146,21 +156,21 @@ impl Default for ServeConfig {
 /// `Retry-After` value (seconds) for backpressure responses. Text
 /// endpoints (Prometheus exposition, raw Chrome trace JSON) carry a
 /// pre-rendered body instead of a [`Json`] document.
-struct Response {
-    status: u16,
-    reason: &'static str,
-    body: Json,
+pub(crate) struct Response {
+    pub(crate) status: u16,
+    pub(crate) reason: &'static str,
+    pub(crate) body: Json,
     /// `(content_type, body)` override; when set, wins over `body`.
-    text: Option<(&'static str, String)>,
-    retry_after: Option<u64>,
+    pub(crate) text: Option<(&'static str, String)>,
+    pub(crate) retry_after: Option<u64>,
 }
 
 impl Response {
-    fn new(status: u16, reason: &'static str, body: Json) -> Response {
+    pub(crate) fn new(status: u16, reason: &'static str, body: Json) -> Response {
         Response { status, reason, body, text: None, retry_after: None }
     }
 
-    fn text(content_type: &'static str, body: String) -> Response {
+    pub(crate) fn text(content_type: &'static str, body: String) -> Response {
         Response {
             status: 200,
             reason: "OK",
@@ -170,11 +180,11 @@ impl Response {
         }
     }
 
-    fn error(status: u16, reason: &'static str, message: &str) -> Response {
+    pub(crate) fn error(status: u16, reason: &'static str, message: &str) -> Response {
         Response::new(status, reason, Json::obj([("error", message.into())]))
     }
 
-    fn retry_after(mut self, after: Duration) -> Response {
+    pub(crate) fn retry_after(mut self, after: Duration) -> Response {
         self.retry_after = Some(after.as_secs().max(1));
         self
     }
@@ -194,6 +204,12 @@ struct RequestCtx<'a> {
     /// patches never change the backend), echoed in the
     /// `X-Ahntp-Backend` header and response `backend` fields.
     backend: &'static str,
+    /// Backend kind matching `backend`; `/admin/swap` rebuilds opened
+    /// snapshots onto it so a swap never silently changes the backend.
+    backend_kind: BackendKind,
+    /// Owned trustee range when serving as a shard
+    /// ([`ServeConfig::shard_range`]); restricts `/topk` candidates.
+    shard_range: Option<(usize, usize)>,
 }
 
 /// What the batcher sends back for one job: the scores plus the
@@ -635,15 +651,27 @@ fn serve_shared(
     // Capture the backend surface once: the kind never changes after
     // startup, so workers echo a `&'static str` instead of re-reading it,
     // and the footprint/envelope gauges describe the running process.
-    let backend_name = {
+    let (backend_name, backend_kind) = {
         let snapshot = index.read();
         gauge_set("serve.backend.bytes_per_user", snapshot.bytes_per_user() as f64);
         gauge_set(
             "serve.backend.score_error_bound",
             f64::from(snapshot.score_error_bound()),
         );
-        snapshot.backend_name()
+        if let Some((lo, hi)) = config.shard_range {
+            if lo >= hi || hi > snapshot.n_users() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "shard range [{lo}, {hi}) invalid for an index of {} users",
+                        snapshot.n_users()
+                    ),
+                ));
+            }
+        }
+        (snapshot.backend_name(), snapshot.backend_kind())
     };
+    let shard_range = config.shard_range;
 
     let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
     let conn_rx = Arc::new(Mutex::new(conn_rx));
@@ -696,6 +724,8 @@ fn serve_shared(
                     deadline,
                     retry_after,
                     backend: backend_name,
+                    backend_kind,
+                    shard_range,
                 };
                 if let Err(e) = handle_connection(stream, &ctx, &shutdown, read_timeout) {
                     warn!("serve", "connection dropped: {e}");
@@ -872,30 +902,33 @@ fn route(
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/score") => score_endpoint(req, ctx, trace_id, stages),
         ("POST", "/events") => events_endpoint(req, ctx, trace_id, stages),
-        ("GET", "/topk") => topk_endpoint(req, &ctx.index.read()),
+        ("POST", "/admin/swap") => swap_endpoint(req, ctx),
+        ("GET", "/topk") => topk_endpoint(req, &ctx.index.read(), ctx.shard_range),
         ("GET", "/healthz") => {
             let index = ctx.index.read();
-            Response::new(
-                200,
-                "OK",
-                Json::obj([
-                    ("status", "ok".into()),
-                    ("model", index.model().into()),
-                    ("n_users", index.n_users().into()),
-                    // Hex string: u64 fingerprints don't fit in JSON's f64.
-                    ("fingerprint", format!("{:016x}", index.fingerprint()).into()),
-                    // Whether this server ingests live trust events.
-                    ("live", ctx.ingest.is_some().into()),
-                    // Active scoring backend and its stated envelope.
-                    ("backend", index.backend_name().into()),
-                    ("backend_bytes_per_user", index.bytes_per_user().into()),
-                    (
-                        "backend_score_error_bound",
-                        index.score_error_bound().into(),
-                    ),
-                    ("backend_approximate_topk", index.approximate_top_k().into()),
-                ]),
-            )
+            let mut entries = vec![
+                ("status", Json::from("ok")),
+                ("model", index.model().into()),
+                ("n_users", index.n_users().into()),
+                // Hex string: u64 fingerprints don't fit in JSON's f64.
+                ("fingerprint", format!("{:016x}", index.fingerprint()).into()),
+                // Whether this server ingests live trust events.
+                ("live", ctx.ingest.is_some().into()),
+                // Active scoring backend and its stated envelope.
+                ("backend", index.backend_name().into()),
+                ("backend_bytes_per_user", index.bytes_per_user().into()),
+                ("backend_score_error_bound", index.score_error_bound().into()),
+                ("backend_approximate_topk", index.approximate_top_k().into()),
+                // Whether the artifact is still a zero-copy mapped view.
+                ("mapped", index.is_mapped().into()),
+            ];
+            // Shard servers advertise their owned trustee range so a
+            // front tier can discover the cluster layout from /healthz.
+            if let Some((lo, hi)) = ctx.shard_range {
+                entries.push(("shard_lo", lo.into()));
+                entries.push(("shard_hi", hi.into()));
+            }
+            Response::new(200, "OK", Json::obj(entries))
         }
         ("GET", "/metrics") => match req.query.get("format").map(String::as_str) {
             Some("prometheus") => {
@@ -917,16 +950,18 @@ fn route(
         ("GET", "/debug/trace.json") => {
             Response::new(200, "OK", ahntp_telemetry::chrome_trace_json())
         }
-        (_, "/score") | (_, "/events") | (_, "/topk") | (_, "/healthz") | (_, "/metrics")
-        | (_, "/metrics/prometheus") | (_, "/debug/traces") | (_, "/debug/trace.json") => {
+        (_, "/score") | (_, "/events") | (_, "/admin/swap") | (_, "/topk") | (_, "/healthz")
+        | (_, "/metrics") | (_, "/metrics/prometheus") | (_, "/debug/traces")
+        | (_, "/debug/trace.json") => {
             Response::error(405, "Method Not Allowed", "method not allowed")
         }
         _ => Response::error(404, "Not Found", "no such endpoint"),
     }
 }
 
-/// Reads `{"pairs": [[u, v], ...]}` out of a `/score` body.
-fn parse_pairs(body: &[u8]) -> Result<Vec<(usize, usize)>, String> {
+/// Reads `{"pairs": [[u, v], ...]}` out of a `/score` body (shared with
+/// the sharded front tier, which re-groups pairs by owning shard).
+pub(crate) fn parse_pairs(body: &[u8]) -> Result<Vec<(usize, usize)>, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let doc = parse(text).map_err(|e| format!("body is not JSON: {e}"))?;
     let Some(Json::Arr(items)) = doc.get("pairs") else {
@@ -1122,7 +1157,72 @@ fn events_endpoint(
     }
 }
 
-fn topk_endpoint(req: &Request, index: &TrustIndex) -> Response {
+/// `POST /admin/swap`: atomically replaces the served snapshot with one
+/// opened (zero-copy when the frame is v2) from `{"path": "..."}`.
+///
+/// The new index is fully built — mapped/decoded, CRC-checked, validated,
+/// backend constructed — *before* the write lock is taken, so in-flight
+/// requests keep scoring the old snapshot throughout and a crash anywhere
+/// before the final swap leaves the old snapshot serving. Refusals are
+/// typed: `409` when the offered snapshot's fingerprint or shape
+/// disagrees with the serving one, `422` when the file is torn or
+/// corrupt (CRC/offsets-table failures surface here as errors, never
+/// panics), `500` when the `shard.swap` failpoint injects a fault.
+fn swap_endpoint(req: &Request, ctx: &RequestCtx<'_>) -> Response {
+    ahntp_faultz::failpoint!("shard.swap", |_inj| Response::error(
+        500,
+        "Internal Server Error",
+        "injected fault in snapshot swap",
+    ));
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "Bad Request", "body is not UTF-8"),
+    };
+    let doc = match parse(text) {
+        Ok(d) => d,
+        Err(e) => return Response::error(400, "Bad Request", &format!("body is not JSON: {e}")),
+    };
+    let Some(path) = doc.get("path").and_then(Json::as_str) else {
+        return Response::error(400, "Bad Request", "body must be {\"path\": \"...\"}");
+    };
+    // Build outside the lock: the expensive part of the swap happens
+    // while the old snapshot keeps serving.
+    let new = match TrustIndex::open_with(path, ctx.backend_kind) {
+        Ok(index) => index,
+        Err(e) => {
+            counter_add("serve.swap.errors", 1);
+            return Response::error(
+                422,
+                "Unprocessable Entity",
+                &format!("snapshot {path:?} unusable: {e}"),
+            );
+        }
+    };
+    let summary = Json::obj([
+        ("swapped", true.into()),
+        ("path", path.into()),
+        ("fingerprint", format!("{:016x}", new.fingerprint()).into()),
+        ("n_users", new.n_users().into()),
+        ("mapped", new.is_mapped().into()),
+        ("backend", ctx.backend.into()),
+    ]);
+    match ctx.index.swap(new) {
+        Ok(()) => {
+            info!("serve", "snapshot swapped in from {path:?}");
+            Response::new(200, "OK", summary)
+        }
+        Err(e) => {
+            counter_add("serve.swap.refused", 1);
+            Response::error(409, "Conflict", &e.to_string())
+        }
+    }
+}
+
+fn topk_endpoint(
+    req: &Request,
+    index: &TrustIndex,
+    shard_range: Option<(usize, usize)>,
+) -> Response {
     let user = match req.query_usize("user") {
         Ok(u) => u,
         Err(m) => return Response::error(400, "Bad Request", &m),
@@ -1134,7 +1234,14 @@ fn topk_endpoint(req: &Request, index: &TrustIndex) -> Response {
         },
         None => 10,
     };
-    match index.top_k_trustees(user, k) {
+    // A shard scans only its owned trustee range (exact arithmetic, so a
+    // front-tier merge reproduces the single-node exact scan bitwise); a
+    // whole-space server scans through its configured backend.
+    let result = match shard_range {
+        Some((lo, hi)) => index.top_k_trustees_in(user, k, lo, hi),
+        None => index.top_k_trustees(user, k),
+    };
+    match result {
         Ok(top) => Response::new(
             200,
             "OK",
@@ -1176,7 +1283,7 @@ mod tests {
             n_users,
             emb_dim: 2,
             head_dim: 2,
-            embeddings: vec![0.0; n_users * 2],
+            embeddings: vec![0.0; n_users * 2].into(),
             trustor_head: (0..n_users).flat_map(row).collect(),
             trustee_head: (0..n_users).rev().flat_map(row).collect(),
         };
@@ -1427,6 +1534,8 @@ mod tests {
             deadline: Duration::from_millis(20),
             retry_after: Duration::from_secs(2),
             backend: "exact",
+            backend_kind: BackendKind::Exact,
+            shard_range: None,
         };
         let deadline0 = ahntp_telemetry::counter_get("serve.deadline_exceeded");
         let shed0 = ahntp_telemetry::counter_get("serve.shed");
@@ -1454,6 +1563,8 @@ mod tests {
             deadline: Duration::from_millis(5),
             retry_after: Duration::from_secs(1),
             backend: "exact",
+            backend_kind: BackendKind::Exact,
+            shard_range: None,
         };
         let req = Request {
             method: "GET".to_string(),
@@ -1726,9 +1837,9 @@ mod tests {
                 n_users: self.angles.len(),
                 emb_dim: 2,
                 head_dim: 2,
-                embeddings,
-                trustor_head,
-                trustee_head,
+                embeddings: embeddings.into(),
+                trustor_head: trustor_head.into(),
+                trustee_head: trustee_head.into(),
             }
         }
 

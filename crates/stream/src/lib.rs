@@ -592,9 +592,9 @@ mod tests {
                 n_users: self.n,
                 emb_dim: 2,
                 head_dim: 2,
-                embeddings: vec![0.0; self.n * 2],
-                trustor_head: vec![0.0; self.n * 2],
-                trustee_head: vec![0.0; self.n * 2],
+                embeddings: vec![0.0; self.n * 2].into(),
+                trustor_head: vec![0.0; self.n * 2].into(),
+                trustee_head: vec![0.0; self.n * 2].into(),
             }
         }
         fn rebuild_artifact(&self) -> TrustArtifact {

@@ -26,9 +26,9 @@ fn random_artifact(seed: u64, n_users: usize, head_dim: usize) -> TrustArtifact 
         n_users,
         emb_dim: 1,
         head_dim,
-        embeddings: vec![0.0; n_users],
-        trustor_head: row(n_users * head_dim),
-        trustee_head: row(n_users * head_dim),
+        embeddings: vec![0.0; n_users].into(),
+        trustor_head: row(n_users * head_dim).into(),
+        trustee_head: row(n_users * head_dim).into(),
     }
 }
 
@@ -160,9 +160,9 @@ fn clustered_artifact(seed: u64, n: usize, d: usize, centers: usize) -> TrustArt
         n_users: n,
         emb_dim: 1,
         head_dim: d,
-        embeddings: vec![0.0; n],
-        trustor_head: clustered_rows(&mut rng),
-        trustee_head: clustered_rows(&mut rng),
+        embeddings: vec![0.0; n].into(),
+        trustor_head: clustered_rows(&mut rng).into(),
+        trustee_head: clustered_rows(&mut rng).into(),
     }
 }
 

@@ -53,9 +53,9 @@ fn artifact() -> TrustArtifact {
         n_users: 3,
         emb_dim: 2,
         head_dim: 2,
-        embeddings: vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
-        trustor_head: vec![1.0, 0.0, 0.0, 1.0, 0.5, 0.5],
-        trustee_head: vec![0.0, 1.0, 1.0, 0.0, 0.5, -0.5],
+        embeddings: vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0].into(),
+        trustor_head: vec![1.0, 0.0, 0.0, 1.0, 0.5, 0.5].into(),
+        trustee_head: vec![0.0, 1.0, 1.0, 0.0, 0.5, -0.5].into(),
     }
 }
 

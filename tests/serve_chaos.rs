@@ -36,7 +36,7 @@ fn toy_index() -> TrustIndex {
         n_users: N_USERS,
         emb_dim: 2,
         head_dim: 2,
-        embeddings: vec![0.0; N_USERS * 2],
+        embeddings: vec![0.0; N_USERS * 2].into(),
         trustor_head: (0..N_USERS).flat_map(row).collect(),
         trustee_head: (0..N_USERS).rev().flat_map(row).collect(),
     };

@@ -1,0 +1,369 @@
+//! Chaos suite for scatter-gather serving: shards die, swaps fail
+//! mid-broadcast, artifacts arrive torn — and every failure mode must
+//! stay inside the sharded fault contract:
+//!
+//! * any shard unreachable ⇒ fan-out reads answer `503` + `Retry-After`
+//!   **deterministically** (never a partial merge),
+//! * a swap that fails on one shard leaves the old snapshot serving,
+//! * a torn v2 artifact fails its CRC seal at map time with a typed
+//!   error — never a panic, never a half-loaded index,
+//! * a fingerprint mismatch is refused with `409`,
+//! * a swap under closed-loop load drops zero requests.
+//!
+//! Failpoints are process-global, so every test serializes on a
+//! file-local gate.
+
+use ahntp_faultz::{self as faultz, Action, FaultSpec};
+use ahntp_nn::TrustArtifact;
+use ahntp_serve::{
+    serve, serve_sharded, shard_ranges, BackendKind, ServeConfig, ServerHandle, ShardedHandle,
+    TrustIndex,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Mutex, PoisonError};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+const N_USERS: usize = 16;
+const FINGERPRINT: u64 = 0xc1a0_5c1a_0000_0001;
+
+/// Base artifact; `bump` perturbs the head values (not the shapes or the
+/// fingerprint), modelling a retrained snapshot of the same deployment.
+/// The rows are unit vectors at angle `i * (0.7 + bump)`, so scores are
+/// `cos((u - v)(0.7 + bump))` — any nonzero bump changes them.
+fn artifact(bump: f32) -> TrustArtifact {
+    let row = move |i: usize| {
+        let a = i as f32 * (0.7 + bump);
+        vec![a.cos(), a.sin()]
+    };
+    TrustArtifact {
+        model: "AHNTP".to_string(),
+        fingerprint: FINGERPRINT,
+        calibration: 0.5,
+        n_users: N_USERS,
+        emb_dim: 2,
+        head_dim: 2,
+        embeddings: vec![0.0; N_USERS * 2].into(),
+        trustor_head: (0..N_USERS).flat_map(row).collect(),
+        trustee_head: (0..N_USERS).rev().flat_map(row).collect(),
+    }
+}
+
+fn exact_index(a: &TrustArtifact) -> TrustIndex {
+    TrustIndex::from_artifact_with(a.clone(), BackendKind::Exact).expect("valid artifact")
+}
+
+fn config() -> ServeConfig {
+    ServeConfig { workers: 2, ..ServeConfig::default() }
+}
+
+fn start_cluster(a: &TrustArtifact, n_shards: usize) -> (Vec<ServerHandle>, ShardedHandle) {
+    let shards: Vec<ServerHandle> = shard_ranges(N_USERS, n_shards)
+        .into_iter()
+        .map(|range| {
+            let cfg = ServeConfig { shard_range: Some(range), ..config() };
+            serve(exact_index(a), &cfg).expect("bind shard")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(ServerHandle::addr).collect();
+    let front = serve_sharded(&addrs, &config()).expect("start front");
+    (shards, front)
+}
+
+/// Writes `a` as a v2 frame under a unique temp path.
+fn write_v2(a: &TrustArtifact, tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "ahntp_shard_chaos_{}_{tag}.ahntpsrv",
+        std::process::id()
+    ));
+    std::fs::write(&path, a.encode_v2()).expect("write artifact");
+    path
+}
+
+fn exchange(addr: SocketAddr, request: &str) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut reader = BufReader::new(&mut stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut headers = Vec::new();
+    let mut len = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        if line.trim_end().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let (name, value) = (name.trim().to_ascii_lowercase(), value.trim().to_string());
+            if name == "content-length" {
+                len = value.parse().expect("content-length");
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).expect("body");
+    (status, headers, String::from_utf8(body).expect("utf-8 body"))
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, String) {
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Vec<(String, String)>, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+fn swap_body(path: &std::path::Path) -> String {
+    format!("{{\"path\":\"{}\"}}", path.display())
+}
+
+/// One shard down: every fan-out read answers `503` + `Retry-After`,
+/// deterministically — repeated attempts never sneak a partial merge
+/// through — while `/score` for pairs owned by live shards keeps
+/// answering and `/healthz` reports the cluster degraded.
+#[test]
+fn one_shard_down_fails_fanout_reads_deterministically() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let (mut shards, front) = start_cluster(&artifact(0.0), 2);
+    // Kill the shard owning the upper half [8, 16).
+    shards.pop().unwrap().shutdown();
+
+    for attempt in 0..5 {
+        let (status, headers, body) = get(front.addr(), "/topk?user=1&k=3");
+        assert_eq!(status, 503, "attempt {attempt}: partial merge served? {body}");
+        assert!(
+            header(&headers, "retry-after").is_some(),
+            "attempt {attempt}: 503 without Retry-After"
+        );
+        assert!(body.contains("unavailable"), "attempt {attempt}: {body}");
+    }
+    // The surviving shard owns [0, 8): scoring a pair whose trustee
+    // lives there needs no fan-out and still answers.
+    let (status, _, body) = post(front.addr(), "/score", r#"{"pairs":[[9,3]]}"#);
+    assert_eq!(status, 200, "live-shard /score must survive: {body}");
+    // A pair owned by the dead shard degrades the same way as /topk.
+    let (status, _, _) = post(front.addr(), "/score", r#"{"pairs":[[3,9]]}"#);
+    assert_eq!(status, 503);
+    // The front itself stays alive and reports the damage.
+    let (status, _, body) = get(front.addr(), "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"degraded\""), "{body}");
+    assert!(body.contains("\"down\""), "{body}");
+
+    front.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+/// The `shard.rpc` failpoint injects the same contract without killing a
+/// process: armed ⇒ `503` + `Retry-After`; disarmed ⇒ the same cluster
+/// serves again (nothing wedged).
+#[test]
+fn injected_rpc_faults_answer_503_and_recover() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    ahntp_telemetry::set_enabled(true);
+    let (shards, front) = start_cluster(&artifact(0.0), 2);
+    {
+        let _fault = faultz::scoped("shard.rpc", FaultSpec::new(Action::Err));
+        let (status, headers, body) = get(front.addr(), "/topk?user=0&k=2");
+        assert_eq!(status, 503, "{body}");
+        assert_eq!(header(&headers, "retry-after"), Some("1"));
+    }
+    let (status, _, body) = get(front.addr(), "/topk?user=0&k=2");
+    assert_eq!(status, 200, "disarmed cluster must serve again: {body}");
+    front.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+/// A swap killed mid-broadcast (the `shard.swap` failpoint fires on the
+/// first shard) leaves the **old** snapshot serving byte-identically;
+/// once disarmed, the same swap request lands cluster-wide and the new
+/// snapshot takes over with zero restarts.
+#[test]
+fn mid_swap_failure_leaves_the_old_snapshot_serving() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let (shards, front) = start_cluster(&artifact(0.0), 2);
+    let probe = "/topk?user=2&k=4";
+    let (_, _, before) = get(front.addr(), probe);
+
+    let next = write_v2(&artifact(0.25), "midswap");
+    {
+        let _fault = faultz::scoped("shard.swap", FaultSpec::new(Action::Err));
+        let (status, _, body) = post(front.addr(), "/admin/swap", &swap_body(&next));
+        assert_eq!(status, 500, "injected swap failure must surface: {body}");
+        assert!(body.contains("shard"), "refusal names the shard: {body}");
+    }
+    let (status, _, after_failure) = get(front.addr(), probe);
+    assert_eq!(status, 200);
+    assert_eq!(before, after_failure, "failed swap must not change served bytes");
+
+    // Disarmed: the identical request now succeeds everywhere...
+    let (status, _, body) = post(front.addr(), "/admin/swap", &swap_body(&next));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"swapped\":true"), "{body}");
+    // ...and the cluster serves the new snapshot: byte-identical to a
+    // fresh single node over the swapped-in artifact.
+    let single = serve(exact_index(&artifact(0.25)), &config()).expect("bind single");
+    let (_, _, want) = get(single.addr(), probe);
+    let (_, _, got) = get(front.addr(), probe);
+    assert_ne!(before, got, "the new snapshot scores differently by construction");
+    assert_eq!(want, got, "post-swap bytes must match a single node on the new artifact");
+    single.shutdown();
+
+    let _ = std::fs::remove_file(next);
+    front.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+/// Torn v2 artifacts — truncated or bit-flipped anywhere, including the
+/// offsets table — fail the CRC seal at map time with a typed
+/// `InvalidData` error. Never a panic; and a serving shard asked to swap
+/// onto one refuses with `422` and keeps serving the old snapshot.
+#[test]
+fn torn_v2_artifacts_fail_closed_at_map_time() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let bytes = artifact(0.0).encode_v2();
+    let torn_path = std::env::temp_dir().join(format!(
+        "ahntp_shard_chaos_{}_torn.ahntpsrv",
+        std::process::id()
+    ));
+    // Flip one byte at a spread of offsets: magic, version, the offsets
+    // table (~32..64), matrix payload, and the CRC seal itself.
+    for pos in [0usize, 10, 34, 40, 56, bytes.len() / 2, bytes.len() - 2] {
+        let mut torn = bytes.clone();
+        torn[pos] ^= 0x40;
+        std::fs::write(&torn_path, &torn).expect("write torn artifact");
+        let err = TrustIndex::open(&torn_path)
+            .expect_err(&format!("flip at {pos} must not map"));
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "flip at {pos}");
+        assert!(!err.to_string().is_empty(), "typed error carries a message");
+    }
+    // Truncations: drop the tail at several depths.
+    for keep in [0usize, 8, 33, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&torn_path, &bytes[..keep]).expect("write truncated artifact");
+        let err = TrustIndex::open(&torn_path)
+            .expect_err(&format!("truncation to {keep} must not map"));
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "truncation to {keep}");
+    }
+
+    // A live shard swapping onto a torn file: 422, old snapshot intact.
+    let index = exact_index(&artifact(0.0));
+    let server = serve(index, &config()).expect("bind");
+    let mut torn = bytes.clone();
+    torn[40] ^= 0x40;
+    std::fs::write(&torn_path, &torn).expect("write torn artifact");
+    let (_, _, before) = get(server.addr(), "/topk?user=1&k=3");
+    let (status, _, body) = post(server.addr(), "/admin/swap", &swap_body(&torn_path));
+    assert_eq!(status, 422, "torn artifact must be refused: {body}");
+    let (_, _, after) = get(server.addr(), "/topk?user=1&k=3");
+    assert_eq!(before, after, "refused swap must not perturb the index");
+    server.shutdown();
+    let _ = std::fs::remove_file(torn_path);
+}
+
+/// A snapshot with a different fingerprint is a different deployment:
+/// the swap is refused with `409` cluster-wide, naming the shard, and
+/// nothing changes.
+#[test]
+fn fingerprint_mismatch_is_refused_with_409() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let (shards, front) = start_cluster(&artifact(0.0), 2);
+    let mut foreign = artifact(0.5);
+    foreign.fingerprint = FINGERPRINT ^ 0xdead;
+    let path = write_v2(&foreign, "foreign");
+
+    let (_, _, before) = get(front.addr(), "/topk?user=5&k=3");
+    let (status, _, body) = post(front.addr(), "/admin/swap", &swap_body(&path));
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("fingerprint"), "{body}");
+    assert!(body.contains("shard"), "refusal names the refusing shard: {body}");
+    let (_, _, after) = get(front.addr(), "/topk?user=5&k=3");
+    assert_eq!(before, after, "refused swap must not perturb the cluster");
+
+    let _ = std::fs::remove_file(path);
+    front.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+/// Closed-loop load during repeated hot swaps: every request answers
+/// `200`. The swap holds each shard's write lock only for the pointer
+/// move (snapshots build outside it), so zero requests drop or error.
+#[test]
+fn swaps_under_closed_loop_load_drop_zero_requests() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let (shards, front) = start_cluster(&artifact(0.0), 2);
+    let a = write_v2(&artifact(0.1), "load_a");
+    let b = write_v2(&artifact(0.2), "load_b");
+    let addr = front.addr();
+
+    let clients: Vec<_> = (0..2)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut statuses = Vec::new();
+                for i in 0..60 {
+                    let (status, _, _) = if i % 2 == c {
+                        get(addr, &format!("/topk?user={}&k=4", i % N_USERS))
+                    } else {
+                        post(
+                            addr,
+                            "/score",
+                            &format!("{{\"pairs\":[[{},{}]]}}", i % N_USERS, (i * 3) % N_USERS),
+                        )
+                    };
+                    statuses.push(status);
+                }
+                statuses
+            })
+        })
+        .collect();
+
+    let mut swaps = 0;
+    for round in 0..6 {
+        let path = if round % 2 == 0 { &a } else { &b };
+        let (status, _, body) = post(addr, "/admin/swap", &swap_body(path));
+        assert_eq!(status, 200, "swap round {round}: {body}");
+        swaps += 1;
+    }
+    let mut total = 0;
+    for client in clients {
+        for (i, status) in client.join().expect("client thread").into_iter().enumerate() {
+            assert_eq!(status, 200, "request {i} failed during swap churn");
+            total += 1;
+        }
+    }
+    assert_eq!(total, 120, "every request must be answered");
+    assert_eq!(swaps, 6);
+
+    let _ = std::fs::remove_file(a);
+    let _ = std::fs::remove_file(b);
+    front.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}

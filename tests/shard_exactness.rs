@@ -1,0 +1,314 @@
+//! Exactness sweep for scatter-gather serving: for every shard count,
+//! uneven range layout, `k`, and `ahntp-par` thread count, the sharded
+//! front's `/score` and `/topk` responses are **byte-identical** to the
+//! single-node exact backend's — same JSON, same digits, same tie-break.
+//!
+//! The tie-break under test is the documented total order: score
+//! descending, then user id ascending. It must hold *across shard
+//! boundaries*, which is where a merge that re-derived ids from
+//! per-shard offsets (instead of carrying global ids end-to-end) would
+//! silently reorder ties.
+
+use ahntp_nn::TrustArtifact;
+use ahntp_serve::{
+    serve, serve_sharded, shard_ranges, BackendKind, ServeConfig, ServerHandle, ShardedHandle,
+    TrustIndex,
+};
+use proptest::prelude::*;
+use proptest::TestRng;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+const N_USERS: usize = 24;
+
+/// Seeded artifact. Trustee rows repeat every 5 users, so equal scores
+/// are guaranteed and land in *different* shards under every layout the
+/// sweep uses — the tie-break is exercised at shard boundaries, not just
+/// within one heap.
+fn tied_artifact(seed: u64) -> TrustArtifact {
+    let mut rng = TestRng::from_label(&format!("shard-exactness-{seed}"));
+    let head_dim = 3;
+    let unique: Vec<Vec<f32>> = (0..5)
+        .map(|_| (0..head_dim).map(|_| (rng.next_f64() * 2.0 - 1.0) as f32).collect())
+        .collect();
+    let trustee: Vec<f32> = (0..N_USERS).flat_map(|v| unique[v % 5].clone()).collect();
+    let trustor: Vec<f32> = (0..N_USERS * head_dim)
+        .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+        .collect();
+    TrustArtifact {
+        model: "AHNTP".to_string(),
+        fingerprint: 0x51a4_4dbe_ef00_0000u64.wrapping_add(seed),
+        calibration: 0.5,
+        n_users: N_USERS,
+        emb_dim: 1,
+        head_dim,
+        embeddings: vec![0.0; N_USERS].into(),
+        trustor_head: trustor.into(),
+        trustee_head: trustee.into(),
+    }
+}
+
+fn exact_index(artifact: &TrustArtifact) -> TrustIndex {
+    TrustIndex::from_artifact_with(artifact.clone(), BackendKind::Exact)
+        .expect("toy artifact is valid")
+}
+
+fn config() -> ServeConfig {
+    ServeConfig { workers: 2, ..ServeConfig::default() }
+}
+
+/// Starts one shard server per range plus the front over them.
+fn start_cluster(
+    artifact: &TrustArtifact,
+    ranges: &[(usize, usize)],
+) -> (Vec<ServerHandle>, ShardedHandle) {
+    let shards: Vec<ServerHandle> = ranges
+        .iter()
+        .map(|&range| {
+            let cfg = ServeConfig { shard_range: Some(range), ..config() };
+            serve(exact_index(artifact), &cfg).expect("bind shard")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(ServerHandle::addr).collect();
+    let front = serve_sharded(&addrs, &config()).expect("start front");
+    (shards, front)
+}
+
+/// One-shot HTTP exchange returning `(status, raw body bytes)`.
+fn exchange(addr: SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut reader = BufReader::new(&mut stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut len = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        if line.trim_end().is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            len = v.trim().parse().expect("content-length");
+        }
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Pairs that hit every shard of every layout the sweep uses, plus
+/// repeats and self-loops.
+fn score_body() -> String {
+    let pairs: Vec<String> = (0..N_USERS)
+        .map(|v| format!("[{},{}]", (v * 7) % N_USERS, v))
+        .chain(["[0,0]".to_string(), "[3,21]".to_string(), "[3,21]".to_string()])
+        .collect();
+    format!("{{\"pairs\":[{}]}}", pairs.join(","))
+}
+
+/// Asserts byte-identity between the single node and the front for the
+/// whole read surface at the given layout.
+fn assert_cluster_matches_single(single: SocketAddr, front: SocketAddr, layout: &str) {
+    // /topk at k = 1, 5, and the full candidate set, for every user:
+    // k = n ranks the entire id space, so ties at *every* shard boundary
+    // must come back in the documented (score desc, id asc) order.
+    for user in 0..N_USERS {
+        for k in [1usize, 5, N_USERS] {
+            let path = format!("/topk?user={user}&k={k}");
+            let (s_status, s_body) = get(single, &path);
+            let (f_status, f_body) = get(front, &path);
+            assert_eq!(s_status, 200, "[{layout}] single {path}: {s_body}");
+            assert_eq!(f_status, 200, "[{layout}] front {path}: {f_body}");
+            assert_eq!(
+                s_body, f_body,
+                "[{layout}] /topk bytes diverged at user={user} k={k}"
+            );
+        }
+        // The default-k path (no k parameter) must also agree.
+        let path = format!("/topk?user={user}");
+        let (_, s_body) = get(single, &path);
+        let (_, f_body) = get(front, &path);
+        assert_eq!(s_body, f_body, "[{layout}] default-k bytes diverged at user={user}");
+    }
+    // /score across all shards in one batch.
+    let body = score_body();
+    let (s_status, s_body) = post(single, "/score", &body);
+    let (f_status, f_body) = post(front, "/score", &body);
+    assert_eq!(s_status, 200, "[{layout}] single /score: {s_body}");
+    assert_eq!(f_status, 200, "[{layout}] front /score: {f_body}");
+    assert_eq!(s_body, f_body, "[{layout}] /score bytes diverged");
+    // Validation errors are part of the byte contract too: the front
+    // checks ids itself and must emit the same typed 400 body.
+    let bad = format!("{{\"pairs\":[[1,2],[0,{N_USERS}]]}}");
+    let (s_status, s_body) = post(single, "/score", &bad);
+    let (f_status, f_body) = post(front, "/score", &bad);
+    assert_eq!((s_status, s_body.as_str()), (400, f_body.as_str()), "[{layout}] 400 body diverged: {f_body}");
+    assert_eq!(f_status, 400, "[{layout}]");
+}
+
+/// The deterministic core sweep: shard counts 1/2/3/7 (all uneven over
+/// 24 users except 1 and 3), both `ahntp-par` thread counts.
+#[test]
+fn sharded_responses_are_byte_identical_across_shard_counts_and_threads() {
+    let artifact = tied_artifact(0);
+    let single = serve(exact_index(&artifact), &config()).expect("bind single");
+    let old_threads = ahntp_par::threads();
+    for threads in [1usize, 4] {
+        ahntp_par::set_threads(threads);
+        for n_shards in [1usize, 2, 3, 7] {
+            let ranges = shard_ranges(N_USERS, n_shards);
+            let (shards, front) = start_cluster(&artifact, &ranges);
+            let layout = format!("shards={n_shards} threads={threads}");
+            assert_cluster_matches_single(single.addr(), front.addr(), &layout);
+            front.shutdown();
+            for s in shards {
+                s.shutdown();
+            }
+        }
+    }
+    ahntp_par::set_threads(old_threads);
+    single.shutdown();
+}
+
+/// A deliberately lopsided hand-written layout: a 1-user shard, a bulk
+/// shard, and a tail shard. Byte-identity must not depend on shards
+/// being near-even.
+#[test]
+fn uneven_hand_written_ranges_still_match_bytes() {
+    let artifact = tied_artifact(7);
+    let single = serve(exact_index(&artifact), &config()).expect("bind single");
+    let (shards, front) = start_cluster(&artifact, &[(0, 1), (1, 13), (13, N_USERS)]);
+    assert_cluster_matches_single(single.addr(), front.addr(), "uneven[1,12,11]");
+    front.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+    single.shutdown();
+}
+
+/// The boundary tie-break, checked structurally (not just bytes): with
+/// trustee rows repeating every 5 users, user `v` and `v+5` tie exactly;
+/// under the 7-shard layout of 24 users those duplicates straddle shard
+/// boundaries, and the merged ranking must list each tie group in
+/// ascending id order.
+#[test]
+fn boundary_ties_merge_in_score_desc_then_id_asc_order() {
+    let artifact = tied_artifact(3);
+    let (shards, front) = start_cluster(&artifact, &shard_ranges(N_USERS, 7));
+    let (status, body) = get(front.addr(), &format!("/topk?user=2&k={N_USERS}"));
+    assert_eq!(status, 200, "{body}");
+    let doc = ahntp_telemetry::json::parse(&body).expect("topk JSON");
+    let Some(ahntp_telemetry::json::Json::Arr(trustees)) = doc.get("trustees") else {
+        panic!("no trustees in {body}");
+    };
+    let ranked: Vec<(usize, f64)> = trustees
+        .iter()
+        .map(|t| {
+            let v = t.get("user").and_then(ahntp_telemetry::json::Json::as_f64).unwrap();
+            let s = t.get("score").and_then(ahntp_telemetry::json::Json::as_f64).unwrap();
+            (v as usize, s)
+        })
+        .collect();
+    // The scan excludes the trustor itself, so k = n ranks everyone else.
+    assert_eq!(ranked.len(), N_USERS - 1, "k = n returns every other candidate");
+    assert!(ranked.iter().all(|&(v, _)| v != 2), "the trustor never ranks itself");
+    let mut n_tie_groups = 0;
+    for w in ranked.windows(2) {
+        let ((id_a, score_a), (id_b, score_b)) = (w[0], w[1]);
+        assert!(
+            score_a >= score_b,
+            "scores must descend: {id_a}:{score_a} before {id_b}:{score_b}"
+        );
+        if score_a == score_b {
+            n_tie_groups += 1;
+            assert!(
+                id_a < id_b,
+                "tied at {score_a}: id {id_a} must precede {id_b} (id asc)"
+            );
+            assert_eq!(id_a % 5, id_b % 5, "ties come from the repeated trustee rows");
+        }
+    }
+    assert!(
+        n_tie_groups >= 4,
+        "the artifact is built to tie; only {n_tie_groups} adjacent ties seen"
+    );
+    front.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random artifacts through random-ish layouts: split points drawn
+    /// from the seed, byte-compared against the single node at both
+    /// thread counts. Complements the fixed sweep above with layouts
+    /// nobody hand-picked.
+    #[test]
+    fn random_layouts_are_byte_identical(seed in 0u64..1_000_000) {
+        let artifact = tied_artifact(seed);
+        let mut rng = TestRng::from_label(&format!("shard-layout-{seed}"));
+        let n_shards = 2 + rng.below(3); // 2..=4
+        // Distinct interior split points make contiguous uneven ranges.
+        let mut cuts = std::collections::BTreeSet::new();
+        while cuts.len() < n_shards - 1 {
+            cuts.insert(1 + rng.below(N_USERS - 1));
+        }
+        let mut ranges = Vec::new();
+        let mut lo = 0usize;
+        for cut in cuts {
+            ranges.push((lo, cut));
+            lo = cut;
+        }
+        ranges.push((lo, N_USERS));
+
+        let single = serve(exact_index(&artifact), &config()).expect("bind single");
+        let (shards, front) = start_cluster(&artifact, &ranges);
+        let old_threads = ahntp_par::threads();
+        for threads in [1usize, 4] {
+            ahntp_par::set_threads(threads);
+            for user in [0, N_USERS / 2, N_USERS - 1] {
+                for k in [1usize, 5, N_USERS] {
+                    let path = format!("/topk?user={user}&k={k}");
+                    let (_, s_body) = get(single.addr(), &path);
+                    let (_, f_body) = get(front.addr(), &path);
+                    prop_assert_eq!(
+                        &s_body, &f_body,
+                        "ranges {:?} user={} k={} threads={}", ranges, user, k, threads
+                    );
+                }
+            }
+            let body = score_body();
+            let (_, s_body) = post(single.addr(), "/score", &body);
+            let (_, f_body) = post(front.addr(), "/score", &body);
+            prop_assert_eq!(&s_body, &f_body, "/score at ranges {:?}", ranges);
+        }
+        ahntp_par::set_threads(old_threads);
+        front.shutdown();
+        for s in shards {
+            s.shutdown();
+        }
+        single.shutdown();
+    }
+}

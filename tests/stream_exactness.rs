@@ -101,11 +101,11 @@ fn apply_patch(artifact: &mut TrustArtifact, patch: &ahntp_stream::HeadPatch) {
     patch.check().expect("well-formed patch");
     for (k, &u) in patch.users.iter().enumerate() {
         let (ed, hd) = (patch.emb_dim, patch.head_dim);
-        artifact.embeddings[u * ed..(u + 1) * ed]
+        artifact.embeddings.to_mut()[u * ed..(u + 1) * ed]
             .copy_from_slice(&patch.emb_rows[k * ed..(k + 1) * ed]);
-        artifact.trustor_head[u * hd..(u + 1) * hd]
+        artifact.trustor_head.to_mut()[u * hd..(u + 1) * hd]
             .copy_from_slice(&patch.trustor_rows[k * hd..(k + 1) * hd]);
-        artifact.trustee_head[u * hd..(u + 1) * hd]
+        artifact.trustee_head.to_mut()[u * hd..(u + 1) * hd]
             .copy_from_slice(&patch.trustee_rows[k * hd..(k + 1) * hd]);
     }
 }
