@@ -17,6 +17,8 @@
 //! | `AHNTP_FULL` | 0 | 1 = paper-exact layer widths (256-128-64); slow |
 //! | `AHNTP_SEED` | 2024 | master seed for datasets and weights |
 //! | `AHNTP_LR` | 5e-3 | learning rate (use 1e-3 with AHNTP_FULL=1) |
+//! | `AHNTP_PPR_ALPHA` | 0.3 | blend weight on the PPR prior in defended scoring |
+//! | `AHNTP_DEFENSE` | 0 | 1 = adversarial benches report defended scores only |
 //!
 //! The defaults complete the whole suite in minutes on one CPU core while
 //! preserving the paper's *shape* (who wins, by roughly what factor, where
@@ -50,6 +52,12 @@ pub struct Scale {
     /// reduced-scale default is 5e-3, which reaches the same optima in a
     /// quarter of the full-batch epochs (see EXPERIMENTS.md).
     pub lr: f32,
+    /// Blend weight on the personalized-PageRank prior in defended
+    /// scoring (`AHNTP_PPR_ALPHA`; values outside `[0, 1]` are clamped).
+    pub ppr_alpha: f32,
+    /// When true (`AHNTP_DEFENSE=1`), the adversarial benches report
+    /// only the defended variant instead of the defended/undefended pair.
+    pub defense: bool,
 }
 
 impl Scale {
@@ -68,6 +76,8 @@ impl Scale {
             full: env_parse("AHNTP_FULL", 0usize) != 0,
             seed: env_parse("AHNTP_SEED", 2024u64),
             lr: env_parse("AHNTP_LR", 5e-3f32),
+            ppr_alpha: env_parse("AHNTP_PPR_ALPHA", 0.3f32).clamp(0.0, 1.0),
+            defense: env_parse("AHNTP_DEFENSE", 0usize) != 0,
         }
     }
 
@@ -323,6 +333,32 @@ mod tests {
     }
 
     #[test]
+    fn malformed_defense_env_falls_back_to_default() {
+        // The adversarial knobs get the same warn-and-default treatment as
+        // the PR 1 scale knobs. These two variables are read only by
+        // Scale::from_env, whose other tests' assertions hold either way.
+        std::env::set_var("AHNTP_PPR_ALPHA", "zero-point-three");
+        std::env::set_var("AHNTP_DEFENSE", "yes-please");
+        let s = Scale::from_env();
+        assert_eq!(s.ppr_alpha, 0.3);
+        assert!(!s.defense);
+        // A parseable but out-of-range alpha clamps into [0, 1] instead of
+        // poisoning every downstream blend.
+        std::env::set_var("AHNTP_PPR_ALPHA", "7.5");
+        assert_eq!(Scale::from_env().ppr_alpha, 1.0);
+        std::env::set_var("AHNTP_PPR_ALPHA", "-1");
+        assert_eq!(Scale::from_env().ppr_alpha, 0.0);
+        // Well-formed values pass through.
+        std::env::set_var("AHNTP_PPR_ALPHA", "0.45");
+        std::env::set_var("AHNTP_DEFENSE", "1");
+        let s = Scale::from_env();
+        assert!((s.ppr_alpha - 0.45).abs() < 1e-6);
+        assert!(s.defense);
+        std::env::remove_var("AHNTP_PPR_ALPHA");
+        std::env::remove_var("AHNTP_DEFENSE");
+    }
+
+    #[test]
     fn factory_builds_every_table4_model() {
         let scale = Scale {
             users_ciao: 60,
@@ -331,6 +367,8 @@ mod tests {
             full: false,
             seed: 3,
             lr: 5e-3,
+            ppr_alpha: 0.3,
+            defense: false,
         };
         let ds = Dataset::Ciao.generate(&scale);
         let split = ds.split(0.8, 0.2, 2, 42);
@@ -349,6 +387,8 @@ mod tests {
             full: false,
             seed: 3,
             lr: 5e-3,
+            ppr_alpha: 0.3,
+            defense: false,
         };
         let ds = Dataset::Ciao.generate(&scale);
         let split = ds.split(0.8, 0.2, 2, 42);
@@ -373,6 +413,8 @@ mod tests {
             full: false,
             seed: 3,
             lr: 5e-3,
+            ppr_alpha: 0.3,
+            defense: false,
         };
         let ds = Dataset::Epinions.generate(&scale);
         let split = ds.split(0.8, 0.2, 2, 42);

@@ -40,12 +40,14 @@ mod dataset;
 mod generator;
 mod io;
 mod sampler;
+mod sybil;
 mod temporal;
 
 pub use config::DatasetConfig;
 pub use dataset::{DatasetStats, LabeledPair, Split, TrustDataset};
 pub use io::{parse_item_categories, parse_ratings, parse_trust_edges, Rating};
 pub use sampler::{plan_micro_batches, sample_edges, MiniBatchConfig};
+pub use sybil::{inject_sybil, SybilConfig, SybilInjection, SybilProbes};
 pub use temporal::TemporalTrustDataset;
 
 /// Errors from loading external data.

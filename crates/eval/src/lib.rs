@@ -6,11 +6,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attack;
 mod batch;
 mod checkpoint;
 mod metrics;
 mod trainer;
 
+pub use attack::{
+    evaluate_under_attack, score_inflation, AttackReport, DefendedInflation, DefendedScore,
+    InflationMetrics,
+};
 pub use batch::{
     train_and_evaluate_minibatch, train_and_evaluate_minibatch_observed, BatchPlan,
     BatchTrustModel,

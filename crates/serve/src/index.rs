@@ -64,6 +64,83 @@ impl std::fmt::Display for ScoreError {
 
 impl std::error::Error for ScoreError {}
 
+/// A Sybil-defense prior attached to a [`TrustIndex`]: per-node trust
+/// mass from personalized PageRank over honest seeds
+/// (`ahntp_graph::trust_prior`), blended into every served score as
+/// `(1 − α) · learned + α · prior[trustee]`.
+///
+/// The prior is indexed by *trustee*: trust is something the target has
+/// to have earned from the honest region, regardless of who asks. Since
+/// PPR mass entering a Sybil region is bounded by the attack-edge cut,
+/// blending caps how much score a fake cluster can manufacture no matter
+/// what the learned model was talked into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefensePrior {
+    alpha: f32,
+    trust: Vec<f32>,
+}
+
+impl DefensePrior {
+    /// Builds a defense prior.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an `alpha` outside `[0, 1]`, an empty prior, or prior
+    /// values outside `[0, 1]` (including non-finite ones).
+    pub fn new(alpha: f32, trust: Vec<f32>) -> Result<DefensePrior, String> {
+        if !(alpha.is_finite() && (0.0..=1.0).contains(&alpha)) {
+            return Err(format!("defense alpha must be in [0, 1], got {alpha}"));
+        }
+        if trust.is_empty() {
+            return Err("defense prior is empty".to_string());
+        }
+        if let Some((i, &v)) = trust
+            .iter()
+            .enumerate()
+            .find(|&(_, &v)| !(v.is_finite() && (0.0..=1.0).contains(&v)))
+        {
+            return Err(format!("defense prior[{i}] = {v} outside [0, 1]"));
+        }
+        Ok(DefensePrior { alpha, trust })
+    }
+
+    /// [`DefensePrior::new`] with the blend weight taken from the
+    /// `AHNTP_PPR_ALPHA` environment knob (default `0.3`; malformed
+    /// values warn and fall back, matching every other env knob).
+    ///
+    /// # Errors
+    ///
+    /// As [`DefensePrior::new`].
+    pub fn from_env(trust: Vec<f32>) -> Result<DefensePrior, String> {
+        DefensePrior::new(ahntp_telemetry::env_parse("AHNTP_PPR_ALPHA", 0.3f32), trust)
+    }
+
+    /// The blend weight on the prior.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Number of users the prior covers.
+    pub fn len(&self) -> usize {
+        self.trust.len()
+    }
+
+    /// Always false — construction rejects an empty prior.
+    pub fn is_empty(&self) -> bool {
+        self.trust.is_empty()
+    }
+
+    /// The per-node trust prior.
+    pub fn trust(&self) -> &[f32] {
+        &self.trust
+    }
+
+    /// Blends one calibrated probability with the trustee's prior.
+    fn blend(&self, trustee: usize, learned: f32) -> f32 {
+        (1.0 - self.alpha) * learned + self.alpha * self.trust[trustee]
+    }
+}
+
 /// Static kernel-span name per backend so traces carry the backend label
 /// without a per-request allocation.
 fn topk_span(kind: BackendKind) -> &'static str {
@@ -92,6 +169,8 @@ pub struct TrustIndex {
     artifact: TrustArtifact,
     kind: BackendKind,
     backend: Box<dyn ScoringBackend>,
+    /// Sybil-defense prior; `None` serves raw learned scores.
+    defense: Option<DefensePrior>,
     /// Pre-interned per-backend counter names (no `format!` per request).
     m_score_calls: String,
     m_topk_calls: String,
@@ -100,8 +179,11 @@ pub struct TrustIndex {
 impl Clone for TrustIndex {
     fn clone(&self) -> TrustIndex {
         // Backends are pure functions of (artifact, kind), so a clone
-        // rebuilds identical derived state.
-        TrustIndex::assemble(self.artifact.clone(), self.kind)
+        // rebuilds identical derived state; the defense prior is carried
+        // over explicitly (it is graph-derived, not artifact-derived).
+        let mut clone = TrustIndex::assemble(self.artifact.clone(), self.kind);
+        clone.defense = self.defense.clone();
+        clone
     }
 }
 
@@ -114,6 +196,7 @@ impl TrustIndex {
             artifact,
             kind,
             backend,
+            defense: None,
         }
     }
 
@@ -195,9 +278,58 @@ impl TrustIndex {
 
     /// Rebuilds this index on a different scoring backend. Derived state
     /// (quantized matrices, posting lists) is reconstructed from the
-    /// artifact, so the swap is deterministic.
+    /// artifact, so the swap is deterministic. An attached defense prior
+    /// survives the rebuild.
     pub fn with_backend(self, kind: BackendKind) -> TrustIndex {
-        TrustIndex::assemble(self.artifact, kind)
+        let mut index = TrustIndex::assemble(self.artifact, kind);
+        index.defense = self.defense;
+        index
+    }
+
+    /// Attaches a Sybil-defense prior: every served probability becomes
+    /// `(1 − α) · learned + α · prior[trustee]` (see [`DefensePrior`]).
+    /// `/topk` under defense always ranks via a full exact candidate scan
+    /// — the prior reweights candidates, so approximate backends cannot
+    /// pre-rank for it.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a prior that does not cover exactly `n_users` nodes; the
+    /// index is unchanged on error.
+    pub fn with_defense(mut self, defense: DefensePrior) -> Result<TrustIndex, String> {
+        if defense.len() != self.artifact.n_users {
+            return Err(format!(
+                "defense prior covers {} users but the index holds {}",
+                defense.len(),
+                self.artifact.n_users
+            ));
+        }
+        self.defense = Some(defense);
+        Ok(self)
+    }
+
+    /// Detaches the defense prior, returning to raw learned scores.
+    pub fn without_defense(mut self) -> TrustIndex {
+        self.defense = None;
+        self
+    }
+
+    /// The attached defense prior, if any.
+    pub fn defense(&self) -> Option<&DefensePrior> {
+        self.defense.as_ref()
+    }
+
+    /// Whether served scores are defense-blended.
+    pub fn defended(&self) -> bool {
+        self.defense.is_some()
+    }
+
+    /// Applies the defense blend when one is attached.
+    fn defended_score(&self, trustee: usize, learned: f32) -> f32 {
+        match &self.defense {
+            Some(d) => d.blend(trustee, learned),
+            None => learned,
+        }
     }
 
     /// The backend this index scores through.
@@ -281,7 +413,10 @@ impl TrustIndex {
     pub fn score(&self, trustor: usize, trustee: usize) -> Result<f32, ScoreError> {
         self.check(trustor)?;
         self.check(trustee)?;
-        Ok(self.calibrated(self.backend.dot(&self.artifact, trustor, trustee)))
+        Ok(self.defended_score(
+            trustee,
+            self.calibrated(self.backend.dot(&self.artifact, trustor, trustee)),
+        ))
     }
 
     /// Scores a batch of `(trustor, trustee)` pairs in order.
@@ -315,6 +450,13 @@ impl TrustIndex {
         for v in &mut out {
             *v = self.calibrated(*v);
         }
+        if let Some(d) = &self.defense {
+            // The blend is per-element and runs after the (possibly
+            // banded) dot batch, so thread-invariance is untouched.
+            for (&(_, trustee), v) in pairs.iter().zip(&mut out) {
+                *v = d.blend(trustee, *v);
+            }
+        }
         Ok(out)
     }
 
@@ -341,6 +483,15 @@ impl TrustIndex {
         );
         counter_add(&self.m_topk_calls, 1);
         self.check(trustor)?;
+        if self.defense.is_some() {
+            // The prior reweights candidates, so a backend's dot-ordered
+            // pre-ranking (int8 quantized heaps, ivf posting lists) is
+            // not a valid filter for the blended order. Defended top-k
+            // therefore ranks every candidate through the exact scalar
+            // scan — identical across backends by construction.
+            let n = self.artifact.n_users;
+            return Ok(self.defended_top_k_in(trustor, k, 0, n));
+        }
         let ranked = self.backend.top_k(&self.artifact, trustor, k);
         let mut out: Vec<(usize, f32)> = ranked
             .into_iter()
@@ -390,6 +541,9 @@ impl TrustIndex {
         if lo >= hi {
             return Ok(Vec::new());
         }
+        if self.defense.is_some() {
+            return Ok(self.defended_top_k_in(trustor, k, lo, hi));
+        }
         let ranked = crate::backend::exact_top_k_in(&self.artifact, trustor, k, lo, hi);
         let mut out: Vec<(usize, f32)> = ranked
             .into_iter()
@@ -400,6 +554,28 @@ impl TrustIndex {
         // at the merge, keeps ties across shard boundaries well-defined.
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         Ok(out)
+    }
+
+    /// The defended candidate scan shared by `top_k_trustees` and
+    /// `top_k_trustees_in`: rank *all* candidates in `lo..hi` with the
+    /// exact scalar arithmetic, blend each with the prior, then apply the
+    /// documented (score desc, id asc) tie-break and truncate. Because
+    /// the blend happens before the per-shard sort, the union of disjoint
+    /// shard ranges covering `0..n`, merged under the same order, is
+    /// bitwise identical to the single-node defended scan.
+    fn defended_top_k_in(&self, trustor: usize, k: usize, lo: usize, hi: usize) -> Vec<(usize, f32)> {
+        let d = self.defense.as_ref().expect("defended scan without a defense prior");
+        // `hi - lo` candidates = the whole range; truncation to `k` must
+        // happen *after* blending or the prior could not promote a
+        // candidate the raw dot order had cut.
+        let ranked = crate::backend::exact_top_k_in(&self.artifact, trustor, hi - lo, lo, hi);
+        let mut out: Vec<(usize, f32)> = ranked
+            .into_iter()
+            .map(|r| (r.user, d.blend(r.user, self.calibrated(r.score))))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
     }
 
     /// Patches refreshed head rows from a live model into the index in
@@ -548,6 +724,14 @@ impl SharedIndex {
         let offered = (new.n_users(), new.emb_dim(), new.head_dim());
         if current != offered {
             return Err(SwapError::ShapeMismatch { current, offered });
+        }
+        let mut new = new;
+        // The defense prior is graph-derived state, not snapshot state: a
+        // hot model swap keeps the active defense unless the incoming
+        // index carries its own (the shape check above guarantees the
+        // carried prior still covers every user).
+        if new.defense.is_none() {
+            new.defense = guard.defense.clone();
         }
         *guard = new;
         counter_add("serve.index.swaps", 1);
@@ -987,5 +1171,148 @@ mod tests {
                 "top_k({u})"
             );
         }
+    }
+
+    // ------------------------- defended scoring -------------------------
+
+    fn toy_defense(alpha: f32) -> DefensePrior {
+        // Trustees 0-2 honest (full prior), trustee 3 Sybil (no prior).
+        DefensePrior::new(alpha, vec![1.0, 1.0, 1.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn defense_prior_validates_its_inputs() {
+        assert!(DefensePrior::new(0.0, vec![0.5]).is_ok());
+        assert!(DefensePrior::new(1.0, vec![0.5]).is_ok());
+        assert!(DefensePrior::new(-0.1, vec![0.5]).is_err());
+        assert!(DefensePrior::new(1.1, vec![0.5]).is_err());
+        assert!(DefensePrior::new(f32::NAN, vec![0.5]).is_err());
+        assert!(DefensePrior::new(0.5, vec![]).is_err());
+        assert!(DefensePrior::new(0.5, vec![0.5, 1.5]).is_err());
+        assert!(DefensePrior::new(0.5, vec![f32::NAN]).is_err());
+        // Length must match the index.
+        let err = toy_index().with_defense(DefensePrior::new(0.5, vec![1.0]).unwrap());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn defended_scores_are_the_documented_blend() {
+        let raw = toy_index();
+        let alpha = 0.4f32;
+        let index = toy_index().with_defense(toy_defense(alpha)).unwrap();
+        assert!(index.defended() && !raw.defended());
+        assert_eq!(index.defense().unwrap().alpha(), alpha);
+        for (u, v, prior) in [(0, 1, 1.0f32), (1, 3, 0.0), (2, 0, 1.0)] {
+            let learned = raw.score(u, v).unwrap();
+            let expected = (1.0 - alpha) * learned + alpha * prior;
+            assert_eq!(index.score(u, v).unwrap(), expected, "score({u}, {v})");
+        }
+        // Batch path blends identically.
+        let pairs = [(0, 1), (1, 3), (2, 0), (3, 2)];
+        let batch = index.score_pairs(&pairs).unwrap();
+        for (&(u, v), &b) in pairs.iter().zip(&batch) {
+            assert_eq!(index.score(u, v).unwrap(), b, "batch score({u}, {v})");
+        }
+        // alpha = 0 serves the raw learned score bitwise.
+        let undefended = toy_index().with_defense(toy_defense(0.0)).unwrap();
+        for &(u, v) in &pairs {
+            assert_eq!(
+                undefended.score(u, v).unwrap().to_bits(),
+                raw.score(u, v).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn defended_top_k_lets_the_prior_rerank() {
+        // Undefended, trustor 0 ranks trustees 1 > 2 > 3 by cosine. With
+        // a prior of 0 on trustee 1 (treat it as the Sybil) and a strong
+        // alpha, trustee 1 must fall to the bottom.
+        let prior = DefensePrior::new(0.9, vec![1.0, 0.0, 1.0, 1.0]).unwrap();
+        let index = toy_index().with_defense(prior).unwrap();
+        let got: Vec<usize> = index
+            .top_k_trustees(0, 3)
+            .unwrap()
+            .into_iter()
+            .map(|(u, _)| u)
+            .collect();
+        assert_eq!(got, vec![2, 3, 1], "prior must be able to demote a candidate");
+        // Entries agree with the pair-scoring path bitwise.
+        for (u, s) in index.top_k_trustees(0, 3).unwrap() {
+            assert_eq!(s.to_bits(), index.score(0, u).unwrap().to_bits());
+        }
+        // Range unions still reproduce the full defended scan.
+        let full = index.top_k_trustees(0, 3).unwrap();
+        let mut merged: Vec<(usize, f32)> = [(0usize, 2usize), (2, 4)]
+            .iter()
+            .flat_map(|&(lo, hi)| index.top_k_trustees_in(0, 3, lo, hi).unwrap())
+            .collect();
+        merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        merged.truncate(3);
+        assert_eq!(
+            full.iter().map(|&(u, s)| (u, s.to_bits())).collect::<Vec<_>>(),
+            merged.iter().map(|&(u, s)| (u, s.to_bits())).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn defended_top_k_is_identical_across_backends() {
+        let artifact = wide_artifact(53);
+        let prior: Vec<f32> = (0..53).map(|i| if i % 5 == 0 { 0.0 } else { 1.0 }).collect();
+        let reference: Vec<(usize, u32)> = {
+            let index = TrustIndex::from_artifact_with(artifact.clone(), BackendKind::Exact)
+                .unwrap()
+                .with_defense(DefensePrior::new(0.35, prior.clone()).unwrap())
+                .unwrap();
+            index
+                .top_k_trustees(7, 9)
+                .unwrap()
+                .into_iter()
+                .map(|(u, s)| (u, s.to_bits()))
+                .collect()
+        };
+        for kind in [
+            BackendKind::Simd,
+            BackendKind::Int8,
+            BackendKind::Ivf(crate::backend::IvfParams::default()),
+        ] {
+            let index = TrustIndex::from_artifact_with(artifact.clone(), kind)
+                .unwrap()
+                .with_defense(DefensePrior::new(0.35, prior.clone()).unwrap())
+                .unwrap();
+            let got: Vec<(usize, u32)> = index
+                .top_k_trustees(7, 9)
+                .unwrap()
+                .into_iter()
+                .map(|(u, s)| (u, s.to_bits()))
+                .collect();
+            // Defended top-k bypasses approximate pre-ranking entirely.
+            assert_eq!(got, reference, "{} backend", kind.name());
+        }
+    }
+
+    #[test]
+    fn defense_survives_clone_backend_rebuild_and_swap() {
+        let index = toy_index().with_defense(toy_defense(0.5)).unwrap();
+        assert!(index.clone().defended(), "Clone must carry the defense");
+        assert!(
+            index.clone().with_backend(BackendKind::Simd).defended(),
+            "backend rebuild must carry the defense"
+        );
+        // A hot swap keeps the active defense when the snapshot has none…
+        let shared = SharedIndex::new(index);
+        shared.swap(toy_index()).unwrap();
+        assert!(shared.read().defended(), "swap must keep the active defense");
+        assert_eq!(shared.read().defense().unwrap().alpha(), 0.5);
+        // …and honors the snapshot's own defense when it has one.
+        let replacement = toy_index().with_defense(toy_defense(0.25)).unwrap();
+        shared.swap(replacement).unwrap();
+        assert_eq!(shared.read().defense().unwrap().alpha(), 0.25);
+        // `without_defense` detaches.
+        assert!(!toy_index()
+            .with_defense(toy_defense(0.5))
+            .unwrap()
+            .without_defense()
+            .defended());
     }
 }

@@ -73,6 +73,22 @@
 //! header, and `/healthz` reports it alongside its memory footprint and
 //! error envelope.
 //!
+//! # Defended scoring
+//!
+//! A [`DefensePrior`] (per-node trust mass from personalized PageRank
+//! over honest seeds, `ahntp_graph::trust_prior`) can be attached to the
+//! index ([`TrustIndex::with_defense`]) or to the server
+//! ([`ServeConfig::defense`]). `/score` and `/topk` then serve
+//! `(1 − α) · learned + α · prior[trustee]` blended probabilities: mass
+//! entering a Sybil region under PPR is bounded by the attack-edge cut,
+//! so the blend caps how much trust a fake cluster can manufacture out
+//! of a fooled model. Defended `/topk` always ranks through the exact
+//! full candidate scan (the prior reweights candidates, so approximate
+//! backends cannot pre-rank for it); pair scoring keeps each backend's
+//! error envelope scaled by `1 − α`. `/healthz` advertises `defended`
+//! and `defense_alpha`, and a hot `/admin/swap` keeps the active defense
+//! unless the incoming snapshot carries its own.
+//!
 //! # Threads
 //!
 //! Scoring itself is data-parallel: once a batch or candidate scan is
@@ -106,6 +122,6 @@ mod shard;
 mod trace_ring;
 
 pub use backend::{BackendKind, IvfParams};
-pub use index::{ScoreError, SharedIndex, SwapError, TrustIndex};
+pub use index::{DefensePrior, ScoreError, SharedIndex, SwapError, TrustIndex};
 pub use server::{serve, serve_live, ServeConfig, ServerHandle};
 pub use shard::{serve_sharded, shard_ranges, ShardInfo, ShardedHandle};

@@ -131,6 +131,14 @@ pub struct ServeConfig {
     /// bitwise. The range is advertised as `shard_lo`/`shard_hi` in
     /// `/healthz` for front-tier discovery.
     pub shard_range: Option<(usize, usize)>,
+    /// Sybil-defense prior to attach at startup
+    /// ([`TrustIndex::with_defense`]): `/score` and `/topk` then serve
+    /// `(1 − α) · learned + α · prior[trustee]` blended scores, and
+    /// `/healthz` advertises `defended: true` plus the alpha. `None` (the
+    /// default) serves raw learned scores. Build one with
+    /// [`DefensePrior::from_env`] to pick the alpha up from
+    /// `AHNTP_PPR_ALPHA`.
+    pub defense: Option<crate::index::DefensePrior>,
 }
 
 impl Default for ServeConfig {
@@ -148,6 +156,7 @@ impl Default for ServeConfig {
             trace_ring: 128,
             backend: None,
             shard_range: None,
+            defense: None,
         }
     }
 }
@@ -488,6 +497,12 @@ pub fn serve(index: TrustIndex, config: &ServeConfig) -> io::Result<ServerHandle
         Some(kind) if kind != index.backend_kind() => index.with_backend(kind),
         _ => index,
     };
+    let index = match &config.defense {
+        Some(defense) => index
+            .with_defense(defense.clone())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?,
+        None => index,
+    };
     serve_shared(Arc::new(SharedIndex::new(index)), config, None)
 }
 
@@ -518,15 +533,27 @@ where
     let (boot_tx, boot_rx) = mpsc::channel();
     let (ingest_tx, ingest_rx) = mpsc::channel::<IngestJob>();
     let kind = config.backend.unwrap_or_else(BackendKind::from_env);
+    let defense = config.defense.clone();
     let applier = std::thread::spawn(move || {
         let model = factory();
-        let shared = match TrustIndex::from_artifact_with(model.export_artifact(), kind) {
-            Ok(index) => Arc::new(SharedIndex::new(index)),
+        let index = match TrustIndex::from_artifact_with(model.export_artifact(), kind) {
+            Ok(index) => index,
             Err(e) => {
                 let _ = boot_tx.send(Err(format!("exported artifact invalid: {e}")));
                 return;
             }
         };
+        let index = match defense {
+            Some(defense) => match index.with_defense(defense) {
+                Ok(index) => index,
+                Err(e) => {
+                    let _ = boot_tx.send(Err(format!("defense prior rejected: {e}")));
+                    return;
+                }
+            },
+            None => index,
+        };
+        let shared = Arc::new(SharedIndex::new(index));
         if boot_tx.send(Ok(Arc::clone(&shared))).is_err() {
             return; // serve_shared failed to bind; nothing to apply onto
         }
@@ -921,7 +948,12 @@ fn route(
                 ("backend_approximate_topk", index.approximate_top_k().into()),
                 // Whether the artifact is still a zero-copy mapped view.
                 ("mapped", index.is_mapped().into()),
+                // Whether served scores are Sybil-defense blended.
+                ("defended", index.defended().into()),
             ];
+            if let Some(defense) = index.defense() {
+                entries.push(("defense_alpha", defense.alpha().into()));
+            }
             // Shard servers advertise their owned trustee range so a
             // front tier can discover the cluster layout from /healthz.
             if let Some((lo, hi)) = ctx.shard_range {

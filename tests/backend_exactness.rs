@@ -8,7 +8,7 @@
 //! benchmark scale and publishes them as BENCH JSON.
 
 use ahntp_nn::TrustArtifact;
-use ahntp_serve::{BackendKind, IvfParams, TrustIndex};
+use ahntp_serve::{BackendKind, DefensePrior, IvfParams, TrustIndex};
 use proptest::prelude::*;
 use proptest::TestRng;
 
@@ -126,6 +126,81 @@ proptest! {
         let a = exact.score_pairs(&pairs).unwrap();
         let b = ivf.score_pairs(&pairs).unwrap();
         prop_assert_eq!(bits(&a), bits(&b));
+    }
+
+    /// The defended (PPR-blended) path keeps every backend contract: simd
+    /// and ivf blended pair scores stay bitwise equal to exact, int8's
+    /// blended delta shrinks to `(1 − α)` of its stated envelope (the
+    /// prior term is backend-independent), and the defended top-k list —
+    /// which ranks every candidate through the exact blended scan, since
+    /// a dot-ordered pre-ranking is not a valid filter once the prior
+    /// reweights candidates — is bitwise identical across all four
+    /// backends.
+    #[test]
+    fn defended_blend_preserves_each_backend_contract(
+        seed in 0u64..1_000_000,
+        n in 2usize..26,
+        d in 1usize..16,
+    ) {
+        let artifact = random_artifact(seed.wrapping_add(131), n, d);
+        let mut rng = TestRng::from_label(&format!("backend-defense-{seed}"));
+        let alpha = (0.05 + rng.next_f64() * 0.9) as f32;
+        let trust: Vec<f32> = (0..n).map(|_| rng.next_f64() as f32).collect();
+        let prior = DefensePrior::new(alpha, trust).unwrap();
+
+        let defended = |kind: BackendKind| {
+            TrustIndex::from_artifact_with(artifact.clone(), kind)
+                .unwrap()
+                .with_defense(prior.clone())
+                .unwrap()
+        };
+        let exact = defended(BackendKind::Exact);
+        let simd = defended(BackendKind::Simd);
+        let int8 = defended(BackendKind::Int8);
+        let ivf = defended(BackendKind::Ivf(IvfParams::default()));
+        let pairs = all_pairs(n);
+        let reference = exact.score_pairs(&pairs).unwrap();
+
+        // Bitwise-equal backends stay bitwise equal under the blend.
+        prop_assert_eq!(bits(&reference), bits(&simd.score_pairs(&pairs).unwrap()));
+        prop_assert_eq!(bits(&reference), bits(&ivf.score_pairs(&pairs).unwrap()));
+
+        // int8: the learned term carries (1 − α) of the weight, so the
+        // blended envelope contracts accordingly (+1e-6 float slack for
+        // the per-element blend arithmetic).
+        let bound = (1.0 - alpha) * int8.score_error_bound() + 1e-6;
+        let quantized = int8.score_pairs(&pairs).unwrap();
+        let max_delta = reference
+            .iter()
+            .zip(&quantized)
+            .fold(0.0f32, |m, (x, y)| m.max((x - y).abs()));
+        prop_assert!(
+            max_delta <= bound,
+            "blended int8 max |Δ| {} exceeds contracted bound {}",
+            max_delta,
+            bound
+        );
+
+        // Defended top-k is one exhaustive blended scan — identical
+        // across every backend, approximate ones included.
+        let k = (n / 2).max(1);
+        for u in 0..n {
+            let want: Vec<(usize, u32)> = exact
+                .top_k_trustees(u, k)
+                .unwrap()
+                .into_iter()
+                .map(|(v, s)| (v, s.to_bits()))
+                .collect();
+            for (name, index) in [("simd", &simd), ("int8", &int8), ("ivf", &ivf)] {
+                let got: Vec<(usize, u32)> = index
+                    .top_k_trustees(u, k)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(v, s)| (v, s.to_bits()))
+                    .collect();
+                prop_assert_eq!(&want, &got, "defended top_k({}) differs on {}", u, name);
+            }
+        }
     }
 }
 

@@ -15,7 +15,8 @@ use ahntp::{Ahntp, AhntpConfig};
 use ahntp_bench::loadgen::{http_request, run_load, LoadConfig};
 use ahntp_data::{DatasetConfig, LabeledPair, TrustDataset};
 use ahntp_eval::TrustModel;
-use ahntp_serve::{serve, ServeConfig, TrustIndex};
+use ahntp_graph::{ppr, trust_prior, PprConfig};
+use ahntp_serve::{serve, DefensePrior, ServeConfig, TrustIndex};
 use ahntp_telemetry::json::{parse, Json};
 use ahntp_telemetry::RunLedger;
 use std::net::TcpStream;
@@ -227,4 +228,118 @@ fn serve_smoke_end_to_end() {
     for h in hammers {
         h.join().expect("client thread survived shutdown");
     }
+}
+
+/// Defended serving end-to-end: a PPR trust prior attached through
+/// `ServeConfig::defense` reaches `/score` and `/topk`, `/healthz`
+/// advertises it, and every served value is exactly the documented
+/// `(1 − α)·calibrated + α·prior[trustee]` blend.
+#[test]
+fn defended_serve_smoke() {
+    let (dataset, test_pairs, model) = trained_model();
+    let artifact = model.export_artifact();
+    let undefended = TrustIndex::load(&artifact.encode()).expect("artifact loads");
+
+    // The prior CI serves in production: personalized PageRank from a
+    // handful of honest seeds, max-normalised into [0, 1].
+    let alpha = 0.4f32;
+    let mass = ppr(&dataset.graph, &[0, 1, 2, 3], &PprConfig::default());
+    let prior = DefensePrior::new(alpha, trust_prior(&mass)).expect("valid prior");
+    let local = undefended
+        .clone()
+        .with_defense(prior.clone())
+        .expect("prior covers every user");
+
+    let server = serve(
+        undefended.clone(),
+        &ServeConfig {
+            workers: 1,
+            defense: Some(prior.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+
+    // Health advertises the defended state and the blend weight.
+    let (status, body) = http_request(&mut conn, "GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let health = parse(&body).unwrap();
+    assert!(
+        matches!(health.get("defended"), Some(Json::Bool(true))),
+        "{body}"
+    );
+    let advertised = health
+        .get("defense_alpha")
+        .and_then(Json::as_f64)
+        .expect("defended health carries alpha");
+    assert!((advertised - f64::from(alpha)).abs() < 1e-6, "{body}");
+
+    // Served pair scores are the exact blend: compare against both the
+    // defended local index and the formula spelled out from the
+    // undefended score.
+    let pairs: Vec<&LabeledPair> = test_pairs.iter().take(10).collect();
+    let body_json = format!(
+        "{{\"pairs\":[{}]}}",
+        pairs
+            .iter()
+            .map(|p| format!("[{},{}]", p.trustor, p.trustee))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let (status, body) = http_request(&mut conn, "POST", "/score", &body_json).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc = parse(&body).unwrap();
+    let Some(Json::Arr(scores)) = doc.get("scores") else {
+        panic!("no scores array in {body}");
+    };
+    for (pair, served) in pairs.iter().zip(scores) {
+        let served = served.as_f64().unwrap();
+        let direct = f64::from(local.score(pair.trustor, pair.trustee).unwrap());
+        let raw = f64::from(undefended.score(pair.trustor, pair.trustee).unwrap());
+        let formula = (1.0 - f64::from(alpha)) * raw
+            + f64::from(alpha) * f64::from(prior.trust()[pair.trustee]);
+        assert!(
+            (served - direct).abs() < 1e-6,
+            "http {served} vs defended index {direct} for ({}, {})",
+            pair.trustor,
+            pair.trustee
+        );
+        assert!(
+            (served - formula).abs() < 1e-6,
+            "http {served} vs blend formula {formula} for ({}, {})",
+            pair.trustor,
+            pair.trustee
+        );
+    }
+
+    // Defended top-k is served from the exhaustive blended scan: ids and
+    // scores agree with the defended local index, in (score desc, id asc)
+    // order.
+    let (status, body) = http_request(&mut conn, "GET", "/topk?user=0&k=5", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let doc = parse(&body).unwrap();
+    let Some(Json::Arr(trustees)) = doc.get("trustees") else {
+        panic!("no trustees in {body}");
+    };
+    let expected = local.top_k_trustees(0, 5).unwrap();
+    assert_eq!(trustees.len(), expected.len(), "{body}");
+    for (served, &(want_user, want_score)) in trustees.iter().zip(&expected) {
+        let user = served.get("user").and_then(Json::as_f64).unwrap() as usize;
+        let score = served.get("score").and_then(Json::as_f64).unwrap();
+        assert_eq!(user, want_user, "{body}");
+        assert!(
+            (score - f64::from(want_score)).abs() < 1e-6,
+            "served {score} vs defended index {want_score} for trustee {user}"
+        );
+    }
+    for w in expected.windows(2) {
+        assert!(
+            w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+            "defended top-k not in (score desc, id asc) order"
+        );
+    }
+
+    server.shutdown();
 }
